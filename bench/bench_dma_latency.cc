@@ -1,0 +1,61 @@
+// §3.1 DMA experiment: the slot interface latency target.
+//
+// "The communication interface between the CPU and FPGA must ... incur
+// low latency, taking fewer than 10 us for transfers of 16 KB or less."
+// This bench sweeps transfer sizes through the user-level slot DMA path
+// (doorbell-free full bits, two staging buffers, interrupt on return).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "shell/dma_engine.h"
+#include "sim/simulator.h"
+
+using namespace catapult;
+
+int main() {
+    bench::Banner("Host-FPGA DMA latency vs transfer size",
+                  "Putnam et al., ISCA 2014, §3.1 (<10 us for <=16 KB)");
+
+    std::printf("\nOne-way host->FPGA DMA latency (slot full bit to FPGA"
+                " staging):\n");
+    bench::Row({"size_B", "latency_us", "meets_10us"});
+    for (const Bytes size : {256, 1'024, 4'096, 8'192, 16'384, 32'768,
+                             65'536}) {
+        sim::Simulator sim;
+        shell::DmaEngine dma(&sim);
+        Time arrival = -1;
+        dma.set_on_ingress([&](shell::PacketPtr) { arrival = sim.Now(); });
+        dma.SetInputFull(0, shell::MakePacket(
+                                shell::PacketType::kScoringRequest, 0, 0,
+                                size));
+        sim.Run();
+        const double us = ToMicroseconds(arrival);
+        const bool target = size > 16'384 || us < 10.0;
+        bench::Row({bench::FmtInt(size), bench::Fmt(us, 2),
+                    size <= 16'384 ? (target ? "yes" : "NO") : "n/a"});
+    }
+
+    std::printf("\nFull round trip (request in, 64 B score out, interrupt):\n");
+    bench::Row({"size_B", "rtt_us"});
+    for (const Bytes size : {1'024, 6'500, 16'384, 65'536}) {
+        sim::Simulator sim;
+        shell::DmaEngine dma(&sim);
+        Time response_at = -1;
+        dma.set_on_ingress([&](shell::PacketPtr p) {
+            dma.SendToHost(p->slot,
+                           shell::MakePacket(shell::PacketType::kScoringResponse,
+                                             0, 0, 64));
+        });
+        dma.set_on_output_ready([&](int, shell::PacketPtr) {
+            response_at = sim.Now();
+        });
+        dma.SetInputFull(0, shell::MakePacket(
+                                shell::PacketType::kScoringRequest, 0, 0,
+                                size));
+        sim.Run();
+        bench::Row({bench::FmtInt(size), bench::Fmt(ToMicroseconds(response_at), 2)});
+    }
+    return 0;
+}

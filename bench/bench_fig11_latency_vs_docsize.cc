@@ -1,0 +1,55 @@
+// Figure 11: unloaded hardware pipeline latency vs compressed document
+// size.
+//
+// "Figure 11 shows the unloaded latency of the scoring pipeline versus
+// the size of a compressed document. The results show a minimum latency
+// incurred that is proportional to the document size (i.e., the
+// buffering and streaming of control and data tokens) along with a
+// variable computation time."
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "rank/document_generator.h"
+#include "service/testbed.h"
+
+using namespace catapult;
+
+int main() {
+    bench::Banner("Figure 11: pipeline latency vs compressed document size",
+                  "Putnam et al., ISCA 2014, Fig. 11 / §5 ring-level");
+
+    service::PodTestbed bed(bench::RingBenchConfig());
+    if (!bed.DeployAndSettle()) {
+        std::printf("deployment failed\n");
+        return 1;
+    }
+    rank::DocumentGenerator generator(0xF16'11);
+
+    double min_latency = 0.0;
+    std::printf("\nEnd-to-end latency (one document in flight at a time):\n");
+    bench::Row({"size_B", "latency_us", "norm_to_min"});
+    std::vector<std::pair<double, double>> series;
+    for (const Bytes size : {256, 1'024, 2'048, 4'096, 8'192, 12'288, 16'384,
+                             24'576, 32'768, 40'960, 49'152, 57'344, 65'000}) {
+        rank::CompressedRequest request = generator.WithTargetSize(size);
+        request.query.model_id = 0;
+        Time latency = 0;
+        bed.service().Inject(0, 0, request,
+                             [&](const service::ScoreResult& r) {
+                                 latency = r.latency;
+                             });
+        bed.simulator().Run();
+        const double us = ToMicroseconds(latency);
+        if (min_latency == 0.0) min_latency = us;
+        series.emplace_back(static_cast<double>(size), us);
+        bench::Row({bench::FmtInt(size), bench::Fmt(us, 1),
+                    bench::Fmt(us / min_latency)});
+    }
+    const double span = series.back().second / series.front().second;
+    std::printf(
+        "\nShape check: latency spans %.1fx from smallest to 64 KB documents "
+        "[paper Fig. 11: ~30x, linear in size]\n",
+        span);
+    return 0;
+}

@@ -1,0 +1,56 @@
+// §5 power experiment: the "power virus" bitstream and the board power
+// envelope.
+//
+// "To measure the maximum power overhead of introducing FPGAs to our
+// servers, we ran a 'power virus' bitstream on one of our FPGAs (i.e.,
+// maxing out the area and activity factor) and measured a modest power
+// consumption of 22.7 W." Constraints from §2.1: 25 W PCIe-only power
+// budget, under 20 W in normal operation (the 10% server power limit).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fpga/power_model.h"
+#include "fpga/thermal_model.h"
+#include "service/ranking_service.h"
+
+using namespace catapult;
+
+int main() {
+    bench::Banner("Power: virus bitstream, ranking roles, thermal envelope",
+                  "Putnam et al., ISCA 2014, §2.1 + §5 power measurement");
+
+    const fpga::PowerModel power;
+    fpga::ThermalModel thermal;
+
+    std::printf("\nPower virus (100%% area, activity 1.0): %.1f W  [paper: 22.7 W]\n",
+                power.PowerVirusWatts());
+    std::printf("PCIe slot power cap                  : %.1f W  [paper: 25 W]\n",
+                power.config().pcie_cap_watts);
+
+    std::printf("\nRanking roles at production activity (0.75):\n");
+    bench::Row({"stage", "power_W", "under_20W", "die_C"});
+    for (int s = 0; s < rank::kPipelineStageCount; ++s) {
+        const auto stage = static_cast<rank::PipelineStage>(s);
+        const fpga::Bitstream image = service::StageBitstream(stage);
+        const double watts = power.Power(image, 0.75);
+        bench::Row({ToString(stage), bench::Fmt(watts, 1),
+                    watts < 20.0 ? "yes" : "NO",
+                    bench::Fmt(thermal.SteadyStateCelsius(watts), 1)});
+    }
+
+    std::printf("\nActivity sweep for the power virus image:\n");
+    bench::Row({"activity", "power_W", "die_C_steady"});
+    for (const double activity : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        const double watts =
+            power.Power(fpga::PowerVirusBitstream(), activity);
+        bench::Row({bench::Fmt(activity), bench::Fmt(watts, 1),
+                    bench::Fmt(thermal.SteadyStateCelsius(watts), 1)});
+    }
+    std::printf(
+        "\nEnvelope check: virus %.1f W < 25 W cap; die at virus power "
+        "%.1f C vs 100 C industrial rating (inlet 68 C, §2.1).\n",
+        power.PowerVirusWatts(),
+        thermal.SteadyStateCelsius(power.PowerVirusWatts()));
+    return 0;
+}

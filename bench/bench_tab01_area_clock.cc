@@ -1,0 +1,54 @@
+// Table 1: FPGA area usage and clock frequencies per ranking stage.
+//
+// "Table 1 shows the FPGA area consumption and clock frequencies for
+// all of the stages devoted to ranking." The synthesis results are
+// static inputs to the model (service::StageBitstream); this bench
+// reprints them, checks each design fits the Stratix V D5 with the 23%
+// shell, and reports the absolute resource counts and board power.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fpga/area_model.h"
+#include "fpga/power_model.h"
+#include "service/ranking_service.h"
+
+using namespace catapult;
+
+int main() {
+    bench::Banner("Table 1: FPGA area usage and clock frequencies",
+                  "Putnam et al., ISCA 2014, Table 1 / §5");
+
+    const fpga::DeviceBudget budget;
+    const fpga::PowerModel power;
+
+    std::printf("\nPer-stage synthesis results (percent of Stratix V D5):\n");
+    bench::Row({"stage", "logic_%", "ram_%", "dsp_%", "clock_MHz", "fits",
+                "power_W"});
+    for (int s = 0; s < rank::kPipelineStageCount; ++s) {
+        const auto stage = static_cast<rank::PipelineStage>(s);
+        const fpga::Bitstream image = service::StageBitstream(stage);
+        const bool fits = image.area.logic_pct <= 100.0 &&
+                          image.area.ram_pct <= 100.0 &&
+                          image.area.dsp_pct <= 100.0;
+        bench::Row({ToString(stage), bench::Fmt(image.area.logic_pct, 0),
+                    bench::Fmt(image.area.ram_pct, 0),
+                    bench::Fmt(image.area.dsp_pct, 0),
+                    bench::Fmt(image.role_clock.megahertz(), 0),
+                    fits ? "yes" : "NO",
+                    bench::Fmt(power.Power(image, 0.75), 1)});
+    }
+
+    std::printf("\nAbsolute resources for the FE stage (74%%/49%%/12%%):\n");
+    const auto fe = budget.FromUtilization({74, 49, 12});
+    std::printf("  ALMs: %lld / %lld, M20K: %lld / %lld, DSP: %lld / %lld\n",
+                static_cast<long long>(fe.alms),
+                static_cast<long long>(budget.capacity().alms),
+                static_cast<long long>(fe.m20k_blocks),
+                static_cast<long long>(budget.capacity().m20k_blocks),
+                static_cast<long long>(fe.dsp_blocks),
+                static_cast<long long>(budget.capacity().dsp_blocks));
+    std::printf("\nShell overhead: %s of the device (paper: 23%%)\n",
+                ToString(fpga::ShellUtilization()).c_str());
+    return 0;
+}

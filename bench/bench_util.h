@@ -1,0 +1,54 @@
+// Shared helpers for the bench harnesses: aligned table printing and
+// common testbed configurations.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation (§5) and prints the same rows/series the paper reports.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "service/testbed.h"
+
+namespace catapult::bench {
+
+/** Print a header banner naming the experiment. */
+inline void Banner(const std::string& title, const std::string& paper_ref) {
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("================================================================\n");
+}
+
+/** Print one row of pipe-separated cells. */
+inline void Row(const std::vector<std::string>& cells) {
+    for (const auto& cell : cells) std::printf("%14s", cell.c_str());
+    std::printf("\n");
+}
+
+inline std::string Fmt(double v, int decimals = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    return buf;
+}
+
+inline std::string FmtInt(long long v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%lld", v);
+    return buf;
+}
+
+/**
+ * Standard pod testbed configuration for the ring experiments: the
+ * production-sized default model with fast deploy (configuration time
+ * is not under test in the throughput/latency figures).
+ */
+inline service::PodTestbed::Config RingBenchConfig() {
+    service::PodTestbed::Config config;
+    config.fabric.device.configure_time = Milliseconds(5);
+    return config;
+}
+
+}  // namespace catapult::bench

@@ -1,0 +1,88 @@
+// Failure handling walkthrough (§3.4-§3.5, §4.2): a stage node's host
+// crashes mid-service; the Health Monitor investigates (reboot ladder,
+// error vector), the Service Manager rotates the ring onto the spare,
+// and ranking resumes — the full at-scale recovery loop.
+
+#include <cstdio>
+
+#include "rank/document_generator.h"
+#include "service/load_generator.h"
+#include "service/testbed.h"
+
+using namespace catapult;
+
+namespace {
+
+int RankBatch(service::PodTestbed& bed, int count, std::uint64_t seed) {
+    rank::DocumentGenerator generator(seed);
+    int ok = 0;
+    for (int i = 0; i < count; ++i) {
+        rank::CompressedRequest request = generator.Next();
+        request.query.model_id = 0;
+        bed.service().Inject(i % 8, 0, request,
+                             [&](const service::ScoreResult& r) {
+                                 if (r.ok) ++ok;
+                             });
+        bed.simulator().Run();
+    }
+    return ok;
+}
+
+}  // namespace
+
+int main() {
+    service::PodTestbed::Config config;
+    config.fabric.device.configure_time = Milliseconds(20);
+    config.host.soft_reboot_duration = Seconds(2);
+    config.host.crash_reboot_delay = Milliseconds(200);
+    service::PodTestbed bed(config);
+    if (!bed.DeployAndSettle()) {
+        std::printf("deployment failed\n");
+        return 1;
+    }
+    std::printf("[t=%s] service deployed; ranking 16 documents...\n",
+                FormatTime(bed.simulator().Now()).c_str());
+    std::printf("  %d/16 scored\n", RankBatch(bed, 16, 1));
+
+    // --- Failure: the Scoring1 node's host dies unexpectedly ----------
+    const int failed_ring_index = 5;
+    const int failed_node = bed.service().RingNode(failed_ring_index);
+    std::printf("\n[t=%s] host of ring position %d (node %d, %s) crashes\n",
+                FormatTime(bed.simulator().Now()).c_str(), failed_ring_index,
+                failed_node, ToString(bed.service().StageAt(failed_ring_index)));
+    bed.host(failed_node).CrashAndReboot("simulated production incident");
+
+    // --- Health Monitor: query, reboot ladder, error vector (§3.5) ----
+    std::vector<mgmt::MachineReport> reports;
+    bed.health_monitor().Investigate(
+        {failed_node},
+        [&](std::vector<mgmt::MachineReport> r) { reports = std::move(r); });
+    bed.simulator().Run();
+    for (const auto& report : reports) {
+        std::printf("[t=%s] health monitor: node %d fault=%s "
+                    "(soft_reboot=%s hard_reboot=%s)\n",
+                    FormatTime(bed.simulator().Now()).c_str(), report.node,
+                    ToString(report.fault),
+                    report.needed_soft_reboot ? "yes" : "no",
+                    report.needed_hard_reboot ? "yes" : "no");
+    }
+
+    // --- Service Manager: rotate the ring onto the spare (§4.2) -------
+    bool rotated = false;
+    bed.service().RotateRingAround(failed_ring_index,
+                                   [&](bool ok) { rotated = ok; });
+    bed.simulator().Run();
+    std::printf("[t=%s] ring rotation %s; stage map now:",
+                FormatTime(bed.simulator().Now()).c_str(),
+                rotated ? "complete" : "FAILED");
+    for (int i = 0; i < service::RankingService::kRingLength; ++i) {
+        std::printf(" %d=%s", i, ToString(bed.service().StageAt(i)));
+    }
+    std::printf("\n");
+
+    // --- Service resumes ----------------------------------------------
+    const int recovered = RankBatch(bed, 16, 2);
+    std::printf("\n[t=%s] after recovery: %d/16 documents scored\n",
+                FormatTime(bed.simulator().Now()).c_str(), recovered);
+    return recovered == 16 && rotated ? 0 : 1;
+}

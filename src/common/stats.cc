@@ -1,0 +1,156 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace catapult {
+
+void RunningStat::Add(double x) {
+    ++count_;
+    if (count_ == 1) {
+        mean_ = x;
+        m2_ = 0.0;
+        min_ = max_ = x;
+        return;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void RunningStat::Reset() { *this = RunningStat(); }
+
+double RunningStat::variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void SampleStat::Add(double x) {
+    samples_.push_back(x);
+    sorted_valid_ = false;
+}
+
+void SampleStat::Reset() {
+    samples_.clear();
+    sorted_.clear();
+    sorted_valid_ = false;
+}
+
+double SampleStat::mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double SampleStat::min() const {
+    if (samples_.empty()) return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStat::max() const {
+    if (samples_.empty()) return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void SampleStat::EnsureSorted() const {
+    if (sorted_valid_) return;
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+}
+
+double SampleStat::Percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    EnsureSorted();
+    assert(p >= 0.0 && p <= 100.0);
+    if (p <= 0.0) return sorted_.front();
+    // Nearest-rank: ceil(p/100 * N), 1-indexed.
+    const auto n = static_cast<double>(sorted_.size());
+    auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    if (rank == 0) rank = 1;
+    if (rank > sorted_.size()) rank = sorted_.size();
+    return sorted_[rank - 1];
+}
+
+void Log2Histogram::Add(double x) {
+    ++total_;
+    if (x < 1.0) {
+        ++underflow_;
+        return;
+    }
+    const auto bucket = static_cast<std::size_t>(std::floor(std::log2(x)));
+    if (buckets_.size() <= bucket) buckets_.resize(bucket + 1, 0);
+    ++buckets_[bucket];
+}
+
+double Log2Histogram::CumulativeFraction(double x) const {
+    if (total_ == 0) return 0.0;
+    std::int64_t below = underflow_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const double lo = std::exp2(static_cast<double>(i));
+        const double hi = std::exp2(static_cast<double>(i + 1));
+        if (hi <= x) {
+            below += buckets_[i];
+        } else if (lo < x) {
+            // Linear interpolation within the bucket.
+            const double frac = (x - lo) / (hi - lo);
+            below += static_cast<std::int64_t>(frac * static_cast<double>(buckets_[i]));
+        }
+    }
+    return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+std::string Log2Histogram::ToString() const {
+    std::ostringstream out;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0) continue;
+        out << "[2^" << i << ", 2^" << i + 1 << "): " << buckets_[i] << "\n";
+    }
+    return out.str();
+}
+
+void RateMeter::Record(Time now, std::int64_t n) {
+    if (!started_) {
+        start_ = now;
+        started_ = true;
+    }
+    last_ = now;
+    count_ += n;
+}
+
+void RateMeter::Reset(Time now) {
+    count_ = 0;
+    start_ = last_ = now;
+    started_ = true;
+}
+
+double RateMeter::RatePerSecond() const {
+    const Time span = last_ - start_;
+    if (span <= 0) return 0.0;
+    return static_cast<double>(count_) / ToSeconds(span);
+}
+
+}  // namespace catapult

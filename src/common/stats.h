@@ -1,0 +1,116 @@
+// Statistics collection: running moments, sample sets with percentile
+// queries, log-scale histograms, and rate meters.
+//
+// The evaluation figures report averages and tail percentiles (p95, p99,
+// p99.9), so SampleStat keeps full samples (the experiments are bounded
+// in size) and answers exact order statistics.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace catapult {
+
+/** Streaming mean/variance/min/max via Welford's algorithm. */
+class RunningStat {
+  public:
+    void Add(double x);
+    void Merge(const RunningStat& other);
+    void Reset();
+
+    std::int64_t count() const { return count_; }
+    double mean() const { return count_ > 0 ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return count_ > 0 ? min_ : 0.0; }
+    double max() const { return count_ > 0 ? max_ : 0.0; }
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+  private:
+    std::int64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Sample container with exact percentile queries.
+ *
+ * Percentile(p) uses the nearest-rank method on the sorted samples; the
+ * sort is cached and invalidated on insertion.
+ */
+class SampleStat {
+  public:
+    void Add(double x);
+    void Reserve(std::size_t n) { samples_.reserve(n); }
+    void Reset();
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /** Exact percentile, p in [0, 100]. Returns 0 for an empty set. */
+    double Percentile(double p) const;
+
+    double Median() const { return Percentile(50.0); }
+    double P95() const { return Percentile(95.0); }
+    double P99() const { return Percentile(99.0); }
+    double P999() const { return Percentile(99.9); }
+
+    const std::vector<double>& samples() const { return samples_; }
+
+  private:
+    void EnsureSorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool sorted_valid_ = false;
+};
+
+/**
+ * Log2-bucketed histogram for wide-dynamic-range values such as sizes
+ * and latencies. Bucket i counts values in [2^i, 2^(i+1)).
+ */
+class Log2Histogram {
+  public:
+    void Add(double x);
+
+    std::int64_t total() const { return total_; }
+    const std::vector<std::int64_t>& buckets() const { return buckets_; }
+
+    /** Cumulative fraction of samples <= `x`. */
+    double CumulativeFraction(double x) const;
+
+    std::string ToString() const;
+
+  private:
+    std::vector<std::int64_t> buckets_;
+    std::int64_t total_ = 0;
+    std::int64_t underflow_ = 0;
+};
+
+/** Counts events over simulated time and reports a rate. */
+class RateMeter {
+  public:
+    void Record(Time now, std::int64_t n = 1);
+    void Reset(Time now);
+
+    std::int64_t count() const { return count_; }
+    /** Events per second over [start, last-event]. */
+    double RatePerSecond() const;
+
+  private:
+    std::int64_t count_ = 0;
+    Time start_ = 0;
+    Time last_ = 0;
+    bool started_ = false;
+};
+
+}  // namespace catapult

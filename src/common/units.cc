@@ -1,0 +1,21 @@
+#include "common/units.h"
+
+#include <cmath>
+
+namespace catapult {
+
+Time Bandwidth::SerializationTime(Bytes payload) const {
+    if (bits_per_second_ <= 0.0 || payload <= 0) return 0;
+    const double seconds =
+        static_cast<double>(payload) * 8.0 / bits_per_second_;
+    const double picos = seconds * 1e12;
+    const auto t = static_cast<Time>(std::llround(picos));
+    return t > 0 ? t : 1;
+}
+
+Time Frequency::Period() const {
+    if (hertz_ <= 0.0) return 0;
+    return static_cast<Time>(std::llround(1e12 / hertz_));
+}
+
+}  // namespace catapult

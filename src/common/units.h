@@ -1,0 +1,123 @@
+// Units and strong time type shared by the whole simulator.
+//
+// The simulation kernel ticks in integer picoseconds: at 1 ps resolution a
+// signed 64-bit tick counter covers ~106 days of simulated time, while the
+// fastest clocks in the system (10 Gb/s serial lanes, 200 MHz fabric
+// clocks) divide evenly, so clock-domain math is exact.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace catapult {
+
+/** Simulated time in picoseconds. */
+using Time = std::int64_t;
+
+namespace time_literals {
+
+constexpr Time kPicosecond = 1;
+constexpr Time kNanosecond = 1'000;
+constexpr Time kMicrosecond = 1'000'000;
+constexpr Time kMillisecond = 1'000'000'000;
+constexpr Time kSecond = 1'000'000'000'000;
+
+}  // namespace time_literals
+
+/** Construct a Time from picoseconds. */
+constexpr Time Picoseconds(std::int64_t n) { return n; }
+/** Construct a Time from nanoseconds. */
+constexpr Time Nanoseconds(std::int64_t n) { return n * time_literals::kNanosecond; }
+/** Construct a Time from microseconds. */
+constexpr Time Microseconds(std::int64_t n) { return n * time_literals::kMicrosecond; }
+/** Construct a Time from milliseconds. */
+constexpr Time Milliseconds(std::int64_t n) { return n * time_literals::kMillisecond; }
+/** Construct a Time from seconds. */
+constexpr Time Seconds(std::int64_t n) { return n * time_literals::kSecond; }
+
+/** Convert a Time to double seconds (for reporting only). */
+constexpr double ToSeconds(Time t) {
+    return static_cast<double>(t) / static_cast<double>(time_literals::kSecond);
+}
+/** Convert a Time to double microseconds (for reporting only). */
+constexpr double ToMicroseconds(Time t) {
+    return static_cast<double>(t) / static_cast<double>(time_literals::kMicrosecond);
+}
+/** Convert a Time to double nanoseconds (for reporting only). */
+constexpr double ToNanoseconds(Time t) {
+    return static_cast<double>(t) / static_cast<double>(time_literals::kNanosecond);
+}
+
+/** Render a time as a human-readable string with an adaptive unit. */
+std::string FormatTime(Time t);
+
+// --- Data sizes ------------------------------------------------------------
+
+/** Byte counts; plain integer type with named constructors for clarity. */
+using Bytes = std::int64_t;
+
+constexpr Bytes KiB(std::int64_t n) { return n * 1024; }
+constexpr Bytes MiB(std::int64_t n) { return n * 1024 * 1024; }
+constexpr Bytes GiB(std::int64_t n) { return n * 1024 * 1024 * 1024; }
+
+// --- Bandwidth --------------------------------------------------------------
+
+/**
+ * Bandwidth expressed in bits per second. Helpers convert a payload size
+ * into the serialization Time it occupies on a link of this rate.
+ */
+class Bandwidth {
+  public:
+    constexpr Bandwidth() : bits_per_second_(0) {}
+    constexpr explicit Bandwidth(double bits_per_second)
+        : bits_per_second_(bits_per_second) {}
+
+    static constexpr Bandwidth GigabitsPerSecond(double gbps) {
+        return Bandwidth(gbps * 1e9);
+    }
+    static constexpr Bandwidth MegabytesPerSecond(double mbps) {
+        return Bandwidth(mbps * 8e6);
+    }
+
+    constexpr double bits_per_second() const { return bits_per_second_; }
+    constexpr double gigabits_per_second() const { return bits_per_second_ / 1e9; }
+    constexpr double bytes_per_second() const { return bits_per_second_ / 8.0; }
+
+    /** Time to serialize `payload` bytes at this rate (rounded up to 1 ps). */
+    Time SerializationTime(Bytes payload) const;
+
+    /** Scale the rate, e.g. for an ECC overhead tax. */
+    constexpr Bandwidth Scaled(double factor) const {
+        return Bandwidth(bits_per_second_ * factor);
+    }
+
+  private:
+    double bits_per_second_;
+};
+
+// --- Frequency ---------------------------------------------------------------
+
+/** Clock frequency with exact integer period derivation. */
+class Frequency {
+  public:
+    constexpr Frequency() : hertz_(0) {}
+    constexpr explicit Frequency(double hertz) : hertz_(hertz) {}
+
+    static constexpr Frequency MHz(double mhz) { return Frequency(mhz * 1e6); }
+    static constexpr Frequency GHz(double ghz) { return Frequency(ghz * 1e9); }
+
+    constexpr double hertz() const { return hertz_; }
+    constexpr double megahertz() const { return hertz_ / 1e6; }
+
+    /** Clock period in picoseconds (rounded to nearest). */
+    Time Period() const;
+
+    /** Time occupied by `n` cycles of this clock. */
+    Time Cycles(std::int64_t n) const { return Period() * n; }
+
+  private:
+    double hertz_;
+};
+
+}  // namespace catapult

@@ -1,0 +1,100 @@
+#include "fabric/torus_topology.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace catapult::fabric {
+
+using shell::Port;
+
+TorusTopology::TorusTopology(int rows, int cols) : rows_(rows), cols_(cols) {
+    assert(rows_ > 0 && cols_ > 0);
+}
+
+TorusCoord TorusTopology::CoordOf(int index) const {
+    assert(index >= 0 && index < node_count());
+    return TorusCoord{index / cols_, index % cols_};
+}
+
+int TorusTopology::IndexOf(TorusCoord coord) const {
+    assert(coord.row >= 0 && coord.row < rows_);
+    assert(coord.col >= 0 && coord.col < cols_);
+    return coord.row * cols_ + coord.col;
+}
+
+int TorusTopology::NeighborOf(int index, Port port) const {
+    TorusCoord c = CoordOf(index);
+    switch (port) {
+      case Port::kNorth:
+        c.row = (c.row + rows_ - 1) % rows_;
+        break;
+      case Port::kSouth:
+        c.row = (c.row + 1) % rows_;
+        break;
+      case Port::kEast:
+        c.col = (c.col + 1) % cols_;
+        break;
+      case Port::kWest:
+        c.col = (c.col + cols_ - 1) % cols_;
+        break;
+      default:
+        assert(false && "not a torus port");
+    }
+    return IndexOf(c);
+}
+
+namespace {
+
+/**
+ * Signed shortest displacement from a to b on a ring of size n:
+ * positive means stepping in the increasing direction.
+ */
+int RingDelta(int a, int b, int n) {
+    int forward = (b - a + n) % n;
+    const int backward = forward - n;  // negative
+    return forward <= -backward ? forward : backward;
+}
+
+}  // namespace
+
+Port TorusTopology::NextHop(int from, int to) const {
+    assert(from != to);
+    const TorusCoord cf = CoordOf(from);
+    const TorusCoord ct = CoordOf(to);
+    // Dimension order: resolve the column (east/west) dimension first.
+    const int dcol = RingDelta(cf.col, ct.col, cols_);
+    if (dcol != 0) return dcol > 0 ? Port::kEast : Port::kWest;
+    const int drow = RingDelta(cf.row, ct.row, rows_);
+    assert(drow != 0);
+    return drow > 0 ? Port::kSouth : Port::kNorth;
+}
+
+int TorusTopology::HopCount(int from, int to) const {
+    if (from == to) return 0;
+    const TorusCoord cf = CoordOf(from);
+    const TorusCoord ct = CoordOf(to);
+    return std::abs(RingDelta(cf.col, ct.col, cols_)) +
+           std::abs(RingDelta(cf.row, ct.row, rows_));
+}
+
+void TorusTopology::BuildRoutingTable(int node, shell::NodeId node_base,
+                                      shell::RoutingTable& table) const {
+    for (int dest = 0; dest < node_count(); ++dest) {
+        if (dest == node) continue;
+        table.SetRoute(node_base + static_cast<shell::NodeId>(dest),
+                       NextHop(node, dest));
+    }
+}
+
+std::vector<int> TorusTopology::RingAlongRow(int start, int length) const {
+    assert(length <= cols_);
+    std::vector<int> ring;
+    ring.reserve(static_cast<std::size_t>(length));
+    const TorusCoord c = CoordOf(start);
+    for (int i = 0; i < length; ++i) {
+        ring.push_back(IndexOf(TorusCoord{c.row, (c.col + i) % cols_}));
+    }
+    return ring;
+}
+
+}  // namespace catapult::fabric

@@ -1,0 +1,75 @@
+// 6x8 two-dimensional torus topology (§2.2).
+//
+// Each pod of 48 half-width 1U servers carries one FPGA per server,
+// wired into a 6x8 torus over SAS cables. This class maps node indices
+// to torus coordinates, enumerates neighbour relations, and generates
+// the static dimension-order routing tables the Mapping Manager installs
+// into each shell.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "shell/packet.h"
+#include "shell/routing_table.h"
+
+namespace catapult::fabric {
+
+/** Coordinates within a pod torus. */
+struct TorusCoord {
+    int row = 0;  ///< 0 .. rows-1 (north/south dimension).
+    int col = 0;  ///< 0 .. cols-1 (east/west dimension).
+
+    bool operator==(const TorusCoord&) const = default;
+};
+
+class TorusTopology {
+  public:
+    /** The Catapult pod arrangement: 6 rows x 8 columns = 48 FPGAs. */
+    TorusTopology() : TorusTopology(6, 8) {}
+    TorusTopology(int rows, int cols);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    int node_count() const { return rows_ * cols_; }
+
+    /** Pod-local index <-> coordinates. */
+    TorusCoord CoordOf(int index) const;
+    int IndexOf(TorusCoord coord) const;
+
+    /** Pod-local index of the neighbour out of `port` (with wraparound). */
+    int NeighborOf(int index, shell::Port port) const;
+
+    /**
+     * Dimension-order route: next hop port from `from` toward `to`,
+     * resolving east/west first, then north/south, taking the shorter
+     * wrap direction. `from` must differ from `to`.
+     */
+    shell::Port NextHop(int from, int to) const;
+
+    /** Hop count of the dimension-order route. */
+    int HopCount(int from, int to) const;
+
+    /**
+     * Build the full routing table for `node`: one entry per other node
+     * in the pod, mapping pod-local destination indices offset by
+     * `node_base` to output ports.
+     */
+    void BuildRoutingTable(int node, shell::NodeId node_base,
+                           shell::RoutingTable& table) const;
+
+    /**
+     * Neighbour list for a ring embedding: the ranking pipeline maps
+     * onto "rings of eight FPGAs on one dimension of the torus" (§4).
+     * Returns the pod-local indices of a ring of `length` nodes along
+     * the column dimension starting at `start`.
+     */
+    std::vector<int> RingAlongRow(int start, int length) const;
+
+  private:
+    int rows_;
+    int cols_;
+};
+
+}  // namespace catapult::fabric

@@ -1,0 +1,52 @@
+#include "fpga/area_model.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace catapult::fpga {
+
+Utilization DeviceBudget::ToUtilization(const ResourceCounts& used) const {
+    Utilization u;
+    if (capacity_.alms > 0) {
+        u.logic_pct = 100.0 * static_cast<double>(used.alms) /
+                      static_cast<double>(capacity_.alms);
+    }
+    if (capacity_.m20k_blocks > 0) {
+        u.ram_pct = 100.0 * static_cast<double>(used.m20k_blocks) /
+                    static_cast<double>(capacity_.m20k_blocks);
+    }
+    if (capacity_.dsp_blocks > 0) {
+        u.dsp_pct = 100.0 * static_cast<double>(used.dsp_blocks) /
+                    static_cast<double>(capacity_.dsp_blocks);
+    }
+    return u;
+}
+
+ResourceCounts DeviceBudget::FromUtilization(const Utilization& util) const {
+    ResourceCounts c;
+    c.alms = static_cast<std::int64_t>(
+        std::llround(util.logic_pct / 100.0 *
+                     static_cast<double>(capacity_.alms)));
+    c.m20k_blocks = static_cast<std::int64_t>(
+        std::llround(util.ram_pct / 100.0 *
+                     static_cast<double>(capacity_.m20k_blocks)));
+    c.dsp_blocks = static_cast<std::int64_t>(
+        std::llround(util.dsp_pct / 100.0 *
+                     static_cast<double>(capacity_.dsp_blocks)));
+    return c;
+}
+
+Utilization ShellUtilization() {
+    // §3.2: "The shell consumes 23% of each FPGA". RAM/DSP components of
+    // the shell (router FIFOs, DMA staging, DDR controllers) are modest.
+    return Utilization{23.0, 10.0, 0.0};
+}
+
+std::string ToString(const Utilization& u) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "logic %.0f%% ram %.0f%% dsp %.0f%%",
+                  u.logic_pct, u.ram_pct, u.dsp_pct);
+    return buf;
+}
+
+}  // namespace catapult::fpga

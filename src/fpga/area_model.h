@@ -1,0 +1,76 @@
+// FPGA area accounting against the Stratix V D5 resource budget.
+//
+// The paper reports per-stage utilization (Table 1) as percentages of
+// logic (ALMs), RAM (M20K blocks) and DSPs, and states that the shell
+// consumes 23% of the device. This model checks that a shell + role
+// combination fits the device and reproduces the Table 1 rows.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace catapult::fpga {
+
+/** Absolute resource counts for one device or one design partition. */
+struct ResourceCounts {
+    std::int64_t alms = 0;        ///< Adaptive logic modules.
+    std::int64_t m20k_blocks = 0; ///< 20 Kb embedded RAM blocks.
+    std::int64_t dsp_blocks = 0;  ///< Variable-precision DSP blocks.
+
+    ResourceCounts operator+(const ResourceCounts& o) const {
+        return {alms + o.alms, m20k_blocks + o.m20k_blocks,
+                dsp_blocks + o.dsp_blocks};
+    }
+    bool FitsWithin(const ResourceCounts& budget) const {
+        return alms <= budget.alms && m20k_blocks <= budget.m20k_blocks &&
+               dsp_blocks <= budget.dsp_blocks;
+    }
+};
+
+/** Utilization of a device expressed as percentages, like Table 1. */
+struct Utilization {
+    double logic_pct = 0.0;
+    double ram_pct = 0.0;
+    double dsp_pct = 0.0;
+};
+
+/**
+ * Device budget. Defaults to the Altera Stratix V D5 (5SGSMD5) used on
+ * the Catapult board: 172,600 ALMs, 2,014 M20K blocks, 1,590 DSPs.
+ */
+class DeviceBudget {
+  public:
+    DeviceBudget() : DeviceBudget(StratixVD5()) {}
+    explicit DeviceBudget(ResourceCounts capacity) : capacity_(capacity) {}
+
+    static ResourceCounts StratixVD5() {
+        return {172'600, 2'014, 1'590};
+    }
+
+    const ResourceCounts& capacity() const { return capacity_; }
+
+    /** Convert absolute counts into Table 1 style percentages. */
+    Utilization ToUtilization(const ResourceCounts& used) const;
+
+    /** Convert Table 1 style percentages into absolute counts. */
+    ResourceCounts FromUtilization(const Utilization& util) const;
+
+    /** True when `used` fits the device. */
+    bool Fits(const ResourceCounts& used) const {
+        return used.FitsWithin(capacity_);
+    }
+
+    /** Total M20K bits (used for Model Reload worst-case sizing). */
+    std::int64_t TotalM20kBits() const { return capacity_.m20k_blocks * 20'480; }
+
+  private:
+    ResourceCounts capacity_;
+};
+
+/** Area of the Catapult shell: 23% of the device (§3.2). */
+Utilization ShellUtilization();
+
+std::string ToString(const Utilization& u);
+
+}  // namespace catapult::fpga

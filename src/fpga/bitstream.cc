@@ -1,0 +1,39 @@
+#include "fpga/bitstream.h"
+
+namespace catapult::fpga {
+
+namespace {
+
+// A Stratix V D5 uncompressed configuration image is ~210 Mb; Catapult
+// stores compressed images in 32 MB of QSPI flash. 16 MiB is a
+// representative compressed payload.
+constexpr Bytes kDefaultPayload = 16ll * 1024 * 1024;
+
+}  // namespace
+
+Bitstream MakeBitstream(std::uint64_t image_id, std::string role_name,
+                        Utilization area, Frequency role_clock,
+                        Bytes payload_size) {
+    Bitstream b;
+    b.image_id = image_id;
+    b.role_name = std::move(role_name);
+    b.area = area;
+    b.role_clock = role_clock;
+    b.payload_size = payload_size > 0 ? payload_size : kDefaultPayload;
+    return b;
+}
+
+Bitstream PowerVirusBitstream() {
+    // §5: "maxing out the area and activity factor".
+    return MakeBitstream(0xF00DF00Dull, "diag.power_virus",
+                         Utilization{100.0, 100.0, 100.0},
+                         Frequency::MHz(250.0));
+}
+
+Bitstream GoldenBitstream() {
+    // Shell only (§3.2: the shell is 23% of the FPGA).
+    return MakeBitstream(0x60D1E000ull, "shell.golden", ShellUtilization(),
+                         Frequency::MHz(175.0));
+}
+
+}  // namespace catapult::fpga

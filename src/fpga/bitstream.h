@@ -1,0 +1,59 @@
+// Bitstream descriptor: the unit of FPGA (re)configuration.
+//
+// In the real system a bitstream is the Quartus-compiled image for a
+// role + shell. Here it is a metadata record — role name, resource
+// footprint, role clock — plus a payload size that drives flash-write
+// and configuration timing.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+#include "fpga/area_model.h"
+
+namespace catapult::fpga {
+
+/** Identifies a compiled FPGA image. */
+struct Bitstream {
+    /** Unique image id (content hash stand-in). */
+    std::uint64_t image_id = 0;
+
+    /** Human-readable role name, e.g. "rank.fe" or "rank.scoring0". */
+    std::string role_name;
+
+    /**
+     * Total design utilization — shell + role together, which is how
+     * Table 1 reports area (e.g. FFE logic 86% includes the 23% shell).
+     */
+    Utilization area;
+
+    /** Role clock frequency (Table 1: 125-180 MHz for ranking stages). */
+    Frequency role_clock = Frequency::MHz(200.0);
+
+    /**
+     * Shell compatibility version. FPGAs refuse traffic from neighbours
+     * with a different shell major version (§3.4: robustness to
+     * "old data from FPGAs that have not yet been reconfigured").
+     */
+    std::uint32_t shell_version = 1;
+
+    /** Compressed image payload written to configuration flash. */
+    Bytes payload_size = 0;
+
+    bool valid() const { return image_id != 0; }
+};
+
+/** Factory helpers used by tests and the ranking service. */
+Bitstream MakeBitstream(std::uint64_t image_id, std::string role_name,
+                        Utilization role_area, Frequency role_clock,
+                        Bytes payload_size = 0);
+
+/** The "power virus" image from §5: maximal area and activity factor. */
+Bitstream PowerVirusBitstream();
+
+/** A golden/default image holding only the shell (spare behaviour). */
+Bitstream GoldenBitstream();
+
+}  // namespace catapult::fpga

@@ -1,0 +1,46 @@
+#include "fpga/config_flash.h"
+
+#include <cassert>
+#include <utility>
+
+#include "common/log.h"
+
+namespace catapult::fpga {
+
+ConfigFlash::ConfigFlash(sim::Simulator* simulator, Config config)
+    : simulator_(simulator), config_(config) {
+    assert(simulator_ != nullptr);
+}
+
+Time ConfigFlash::WriteDuration(Bytes size) const {
+    return config_.write_rate.SerializationTime(size);
+}
+
+void ConfigFlash::WriteImage(FlashSlot slot, const Bitstream& image,
+                             std::function<void(bool)> on_done) {
+    if (write_in_progress_ || image.payload_size > config_.capacity) {
+        simulator_->ScheduleAfter(0, [cb = std::move(on_done)] { cb(false); });
+        return;
+    }
+    write_in_progress_ = true;
+    const Time duration = WriteDuration(image.payload_size);
+    LOG_DEBUG("flash") << "writing image " << image.role_name << " ("
+                       << image.payload_size << " B, "
+                       << FormatTime(duration) << ")";
+    simulator_->ScheduleAfter(
+        duration, [this, slot, image, cb = std::move(on_done)] {
+            slots_[static_cast<int>(slot)] = image;
+            write_in_progress_ = false;
+            cb(true);
+        });
+}
+
+std::optional<Bitstream> ConfigFlash::ReadImage(FlashSlot slot) const {
+    return slots_[static_cast<int>(slot)];
+}
+
+void ConfigFlash::InstallImage(FlashSlot slot, const Bitstream& image) {
+    slots_[static_cast<int>(slot)] = image;
+}
+
+}  // namespace catapult::fpga

@@ -1,0 +1,143 @@
+// FPGA device configuration state machine.
+//
+// Models the lifecycle the rest of the system cares about (§3.4):
+//   Unconfigured -> Configuring -> Active -> (Reconfiguring|Failed) ...
+// During (re)configuration the device:
+//   * disappears from PCIe (a host that has not masked the device's
+//     non-maskable interrupt sees a surprise-removal NMI),
+//   * may emit garbage on its SL3 links unless TX Halt was sent first,
+//   * comes back up with RX Halt engaged, dropping inbound link traffic
+//     until the Mapping Manager releases it.
+// Observers (the Shell, the host driver) subscribe to state changes.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "fpga/area_model.h"
+#include "fpga/bitstream.h"
+#include "fpga/config_flash.h"
+#include "fpga/power_model.h"
+#include "fpga/seu_scrubber.h"
+#include "fpga/thermal_model.h"
+#include "sim/simulator.h"
+
+namespace catapult::fpga {
+
+enum class DeviceState {
+    kUnconfigured,
+    kConfiguring,
+    kActive,
+    kReconfiguring,
+    kFailed,
+};
+
+const char* ToString(DeviceState state);
+
+/**
+ * One Stratix V D5 device with its configuration flash, scrubber,
+ * thermal and power models.
+ */
+class FpgaDevice {
+  public:
+    struct Config {
+        DeviceBudget budget;
+        /** Full configuration from flash (§4.3: "milliseconds to seconds"). */
+        Time configure_time = Milliseconds(900);
+        /** Probability a configuration attempt fails and must retry. */
+        double config_failure_probability = 0.0;
+        SeuScrubber::Config seu;
+        PowerModel::Config power;
+        ThermalModel::Config thermal;
+    };
+
+    using StateListener = std::function<void(DeviceState, DeviceState)>;
+
+    FpgaDevice(sim::Simulator* simulator, std::string name, Rng rng,
+               Config config);
+    FpgaDevice(sim::Simulator* simulator, std::string name, Rng rng)
+        : FpgaDevice(simulator, std::move(name), rng, Config()) {}
+
+    FpgaDevice(const FpgaDevice&) = delete;
+    FpgaDevice& operator=(const FpgaDevice&) = delete;
+
+    const std::string& name() const { return name_; }
+    DeviceState state() const { return state_; }
+    bool active() const { return state_ == DeviceState::kActive; }
+
+    /** Image currently loaded into the fabric (valid when Active). */
+    const Bitstream& loaded_image() const { return loaded_image_; }
+
+    /**
+     * Begin configuration from the given flash slot. The device passes
+     * through kConfiguring/kReconfiguring for configure_time, then
+     * becomes Active (or retries on a modelled configuration failure).
+     * Fails immediately (callback false) if the slot is empty or the
+     * image does not fit the device together with the shell.
+     */
+    void ConfigureFromFlash(FlashSlot slot, std::function<void(bool)> on_done);
+
+    /** Hard-fail the device (driven by failure injection). */
+    void ForceFail(const std::string& reason);
+
+    /** Power-cycle: clears Failed, device returns via configuration. */
+    void PowerCycle(std::function<void(bool)> on_done);
+
+    /** Subscribe to state transitions. */
+    void AddStateListener(StateListener listener);
+
+    /** Current board power given the role's present activity factor. */
+    double CurrentPowerWatts() const;
+
+    /** Activity factor set by the role model (0..1). */
+    void set_activity_factor(double activity);
+    double activity_factor() const { return activity_factor_; }
+
+    /** Advance thermals to the current simulated time. */
+    void UpdateThermals();
+
+    ConfigFlash& flash() { return flash_; }
+    const ConfigFlash& flash() const { return flash_; }
+    SeuScrubber& scrubber() { return scrubber_; }
+    const SeuScrubber& scrubber() const { return scrubber_; }
+    const ThermalModel& thermal() const { return thermal_; }
+    const PowerModel& power_model() const { return power_model_; }
+    const DeviceBudget& budget() const { return config_.budget; }
+
+    /** True when the role was corrupted by an SEU since last (re)config. */
+    bool role_corrupted() const { return role_corrupted_; }
+
+    /** Number of completed (re)configurations. */
+    std::uint64_t configurations_completed() const {
+        return configurations_completed_;
+    }
+
+  private:
+    void TransitionTo(DeviceState next);
+    void FinishConfiguration(FlashSlot slot, std::function<void(bool)> on_done);
+
+    sim::Simulator* simulator_;
+    std::string name_;
+    Config config_;
+    Rng rng_;
+    ConfigFlash flash_;
+    SeuScrubber scrubber_;
+    ThermalModel thermal_;
+    PowerModel power_model_;
+
+    DeviceState state_ = DeviceState::kUnconfigured;
+    Bitstream loaded_image_;
+    std::vector<StateListener> listeners_;
+    double activity_factor_ = 0.0;
+    Time last_thermal_update_ = 0;
+    bool role_corrupted_ = false;
+    std::uint64_t configurations_completed_ = 0;
+    std::uint64_t config_epoch_ = 0;
+};
+
+}  // namespace catapult::fpga

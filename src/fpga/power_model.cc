@@ -1,0 +1,29 @@
+#include "fpga/power_model.h"
+
+#include <algorithm>
+
+namespace catapult::fpga {
+
+double PowerModel::BoardPower(const Utilization& total_area,
+                              double activity_factor) const {
+    const double act = std::clamp(activity_factor, 0.0, 1.0);
+    const double dynamic =
+        act * (total_area.logic_pct / 100.0 * config_.logic_dynamic_watts +
+               total_area.ram_pct / 100.0 * config_.ram_dynamic_watts +
+               total_area.dsp_pct / 100.0 * config_.dsp_dynamic_watts);
+    return config_.static_watts + dynamic;
+}
+
+double PowerModel::Power(const Bitstream& role, double activity_factor) const {
+    Utilization total;
+    total.logic_pct = std::min(100.0, role.area.logic_pct);
+    total.ram_pct = std::min(100.0, role.area.ram_pct);
+    total.dsp_pct = std::min(100.0, role.area.dsp_pct);
+    return BoardPower(total, activity_factor);
+}
+
+double PowerModel::PowerVirusWatts() const {
+    return Power(PowerVirusBitstream(), 1.0);
+}
+
+}  // namespace catapult::fpga

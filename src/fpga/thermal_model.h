@@ -1,0 +1,50 @@
+// Thermal model for the FPGA daughtercard.
+//
+// The board sits in the server exhaust: inlet air reaches 68 C after
+// the two host CPUs (§2.1), and the industrial-grade part is rated to
+// 100 C. The model is a first-order thermal RC: die temperature tracks
+// inlet + theta_ja * power with an exponential time constant. Crossing
+// the rated junction temperature raises the temperature-shutdown error
+// flag reported to the Health Monitor (§3.5).
+
+#pragma once
+
+#include "common/units.h"
+
+namespace catapult::fpga {
+
+class ThermalModel {
+  public:
+    struct Config {
+        double inlet_celsius = 68.0;        ///< CPU exhaust worst case.
+        double theta_ja = 1.25;             ///< C per watt, heatsinked.
+        double shutdown_celsius = 100.0;    ///< Industrial part rating.
+        Time time_constant = Seconds(20);   ///< Thermal RC constant.
+    };
+
+    ThermalModel() : ThermalModel(Config{}) {}
+    explicit ThermalModel(Config config)
+        : config_(config), die_celsius_(config.inlet_celsius) {}
+
+    /** Advance the model: power has been `watts` for `elapsed` time. */
+    void Advance(double watts, Time elapsed);
+
+    /** Steady-state die temperature at `watts` dissipation. */
+    double SteadyStateCelsius(double watts) const {
+        return config_.inlet_celsius + config_.theta_ja * watts;
+    }
+
+    double die_celsius() const { return die_celsius_; }
+    bool over_temperature() const {
+        return die_celsius_ >= config_.shutdown_celsius;
+    }
+
+    void set_inlet_celsius(double celsius) { config_.inlet_celsius = celsius; }
+    const Config& config() const { return config_; }
+
+  private:
+    Config config_;
+    double die_celsius_;
+};
+
+}  // namespace catapult::fpga

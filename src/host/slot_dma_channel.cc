@@ -1,0 +1,99 @@
+#include "host/slot_dma_channel.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace catapult::host {
+
+const char* ToString(SendStatus status) {
+    switch (status) {
+      case SendStatus::kOk: return "ok";
+      case SendStatus::kTimeout: return "timeout";
+      case SendStatus::kSlotBusy: return "slot_busy";
+      case SendStatus::kBadRequest: return "bad_request";
+    }
+    return "?";
+}
+
+SlotDmaChannel::SlotDmaChannel(sim::Simulator* simulator,
+                               shell::DmaEngine* dma, Config config)
+    : simulator_(simulator), dma_(dma), config_(config) {
+    assert(simulator_ != nullptr);
+    assert(dma_ != nullptr);
+    dma_->set_on_output_ready([this](int slot, shell::PacketPtr packet) {
+        OnOutputReady(slot, std::move(packet));
+    });
+}
+
+int SlotDmaChannel::AssignThreads(int thread_count) {
+    assert(thread_count > 0 && thread_count <= shell::kDmaSlotCount);
+    thread_count_ = thread_count;
+    slots_per_thread_ = shell::kDmaSlotCount / thread_count;
+    return slots_per_thread_;
+}
+
+int SlotDmaChannel::SlotFor(int thread, int k) const {
+    assert(thread >= 0 && thread < thread_count_);
+    assert(k >= 0 && k < slots_per_thread_);
+    // Release-mode safety: never hand out an out-of-range slot even if
+    // a caller probes beyond the current partitioning.
+    if (thread_count_ <= 0) return 0;
+    const int slot = (thread % thread_count_) * slots_per_thread_ +
+                     (slots_per_thread_ > 0 ? k % slots_per_thread_ : 0);
+    return slot % shell::kDmaSlotCount;
+}
+
+SendStatus SlotDmaChannel::Send(int slot, shell::PacketPtr request,
+                                ResponseFn on_response) {
+    assert(slot >= 0 && slot < shell::kDmaSlotCount);
+    if (pending_[slot].active) return SendStatus::kSlotBusy;
+    if (request->size > shell::kDmaSlotBytes) return SendStatus::kBadRequest;
+
+    Pending& p = pending_[slot];
+    p.active = true;
+    p.request_id = next_request_id_++;
+    p.on_response = std::move(on_response);
+    const std::uint64_t id = p.request_id;
+    p.timeout = simulator_->ScheduleAfter(
+        config_.request_timeout, [this, slot, id] { OnTimeout(slot, id); },
+        sim::EventPriority::kTimeout);
+
+    ++counters_.sent;
+    request->slot = slot;
+    request->injected_at = simulator_->Now();
+    const bool accepted = dma_->SetInputFull(slot, std::move(request));
+    assert(accepted && "full bit already set on an idle slot");
+    (void)accepted;
+    return SendStatus::kOk;
+}
+
+void SlotDmaChannel::OnOutputReady(int slot, shell::PacketPtr packet) {
+    Pending& p = pending_[slot];
+    dma_->ConsumeOutput(slot);  // the consumer thread drains immediately
+    if (!p.active) {
+        // Response to a request we already timed out.
+        ++counters_.late_responses;
+        return;
+    }
+    ++counters_.responses;
+    simulator_->Cancel(p.timeout);
+    p.active = false;
+    auto cb = std::move(p.on_response);
+    p.on_response = nullptr;
+    if (cb) cb(SendStatus::kOk, std::move(packet));
+}
+
+void SlotDmaChannel::OnTimeout(int slot, std::uint64_t request_id) {
+    Pending& p = pending_[slot];
+    if (!p.active || p.request_id != request_id) return;
+    ++counters_.timeouts;
+    LOG_DEBUG("driver") << "request on slot " << slot
+                        << " timed out; diverting to failure handling";
+    p.active = false;
+    auto cb = std::move(p.on_response);
+    p.on_response = nullptr;
+    if (cb) cb(SendStatus::kTimeout, nullptr);
+}
+
+}  // namespace catapult::host

@@ -1,0 +1,92 @@
+#include "mgmt/failure_injector.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace catapult::mgmt {
+
+FailureInjector::FailureInjector(sim::Simulator* simulator,
+                                 fabric::CatapultFabric* fabric,
+                                 std::vector<host::HostServer*> hosts,
+                                 Rng rng)
+    : simulator_(simulator),
+      fabric_(fabric),
+      hosts_(std::move(hosts)),
+      rng_(rng) {
+    assert(simulator_ != nullptr);
+    assert(fabric_ != nullptr);
+}
+
+void FailureInjector::ScheduleMachineReboot(int node, Time when) {
+    ++injected_;
+    simulator_->ScheduleAt(when, [this, node] {
+        hosts_[static_cast<std::size_t>(node)]->CrashAndReboot(
+            "injected maintenance reboot");
+    });
+}
+
+void FailureInjector::ScheduleApplicationHang(int node, Time when) {
+    ++injected_;
+    simulator_->ScheduleAt(when, [this, node] {
+        LOG_WARN("inject") << "application hang on node " << node;
+        fabric_->shell(node).FlagApplicationError();
+    });
+}
+
+void FailureInjector::ScheduleCableDefect(int node, shell::Port port,
+                                          Time when) {
+    ++injected_;
+    simulator_->ScheduleAt(when, [this, node, port] {
+        LOG_WARN("inject") << "cable defect on node " << node << " port "
+                           << shell::ToString(port);
+        fabric_->InjectCableDefect(node, port);
+    });
+}
+
+void FailureInjector::ScheduleSeuStorm(int node, Time when,
+                                       double upsets_per_second) {
+    ++injected_;
+    simulator_->ScheduleAt(when, [this, node, upsets_per_second] {
+        LOG_WARN("inject") << "SEU storm on node " << node << " ("
+                           << upsets_per_second << "/s)";
+        // Restart the scrubber with the elevated rate.
+        auto& scrubber = fabric_->device(node).scrubber();
+        scrubber.Stop();
+        scrubber.set_upset_rate(upsets_per_second);
+        scrubber.Start();
+    });
+}
+
+void FailureInjector::ScheduleDramCalibrationFailure(int node, int channel,
+                                                     Time when) {
+    ++injected_;
+    simulator_->ScheduleAt(when, [this, node, channel] {
+        LOG_WARN("inject") << "DRAM calibration failure on node " << node
+                           << " channel " << channel;
+        fabric_->shell(node).dram(channel).set_calibrated(false);
+    });
+}
+
+void FailureInjector::ScheduleUngracefulReconfig(int node, Time when) {
+    ++injected_;
+    simulator_->ScheduleAt(when, [this, node] {
+        LOG_WARN("inject") << "ungraceful reconfiguration on node " << node;
+        fabric_->shell(node).Reconfigure(fpga::FlashSlot::kApplication,
+                                         /*graceful=*/false, [](bool) {});
+    });
+}
+
+void FailureInjector::ScheduleRandomReboots(int count, Time horizon) {
+    for (int i = 0; i < count; ++i) {
+        const int node =
+            static_cast<int>(rng_.NextBounded(
+                static_cast<std::uint64_t>(fabric_->node_count())));
+        const Time when = simulator_->Now() +
+                          static_cast<Time>(rng_.NextDouble() *
+                                            static_cast<double>(horizon));
+        ScheduleMachineReboot(node, when);
+    }
+}
+
+}  // namespace catapult::mgmt

@@ -1,0 +1,66 @@
+// Failure injection for resilience experiments.
+//
+// §3.5 reports the failures actually observed at scale: "transient
+// phenomena, primarily machine reboots due to maintenance or other
+// unresponsive services". This utility schedules those plus the fault
+// classes the platform is designed to survive: surprise machine
+// reboots, application hangs, cable defects, SEU storms, DRAM
+// calibration failures and ungraceful (garbage-spraying)
+// reconfigurations.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "fabric/catapult_fabric.h"
+#include "host/host_server.h"
+#include "sim/simulator.h"
+
+namespace catapult::mgmt {
+
+class FailureInjector {
+  public:
+    FailureInjector(sim::Simulator* simulator, fabric::CatapultFabric* fabric,
+                    std::vector<host::HostServer*> hosts, Rng rng);
+
+    FailureInjector(const FailureInjector&) = delete;
+    FailureInjector& operator=(const FailureInjector&) = delete;
+
+    /** Surprise maintenance reboot of `node` at `when`. */
+    void ScheduleMachineReboot(int node, Time when);
+
+    /** Application hang: the role stops responding at `when`. */
+    void ScheduleApplicationHang(int node, Time when);
+
+    /** Cable goes bad at `when` (connector damage during service). */
+    void ScheduleCableDefect(int node, shell::Port port, Time when);
+
+    /** Raise the SEU rate on `node` by `factor` starting at `when`. */
+    void ScheduleSeuStorm(int node, Time when, double upsets_per_second);
+
+    /** DRAM DIMM loses calibration at `when`. */
+    void ScheduleDramCalibrationFailure(int node, int channel, Time when);
+
+    /** Ungraceful reconfiguration (no TX-Halt protocol) at `when`. */
+    void ScheduleUngracefulReconfig(int node, Time when);
+
+    /**
+     * Background noise: schedule `count` random machine reboots
+     * uniformly over [0, horizon] across all nodes.
+     */
+    void ScheduleRandomReboots(int count, Time horizon);
+
+    std::uint64_t injected_count() const { return injected_; }
+
+  private:
+    sim::Simulator* simulator_;
+    fabric::CatapultFabric* fabric_;
+    std::vector<host::HostServer*> hosts_;
+    Rng rng_;
+    std::uint64_t injected_ = 0;
+};
+
+}  // namespace catapult::mgmt

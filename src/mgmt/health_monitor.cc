@@ -1,0 +1,157 @@
+#include "mgmt/health_monitor.h"
+
+#include <cassert>
+#include <memory>
+
+#include "common/log.h"
+
+namespace catapult::mgmt {
+
+const char* ToString(FaultType type) {
+    switch (type) {
+      case FaultType::kNone: return "none";
+      case FaultType::kUnresponsiveRecovered: return "unresponsive_recovered";
+      case FaultType::kUnresponsiveFatal: return "unresponsive_fatal";
+      case FaultType::kLinkError: return "link_error";
+      case FaultType::kMiswiredCable: return "miswired_cable";
+      case FaultType::kDramError: return "dram_error";
+      case FaultType::kApplicationError: return "application_error";
+      case FaultType::kPcieError: return "pcie_error";
+      case FaultType::kTemperatureShutdown: return "temperature_shutdown";
+    }
+    return "?";
+}
+
+struct HealthMonitor::Context {
+    std::vector<int> nodes;
+    std::vector<MachineReport> reports;
+    std::size_t outstanding = 0;
+    std::function<void(std::vector<MachineReport>)> on_done;
+};
+
+HealthMonitor::HealthMonitor(sim::Simulator* simulator,
+                             fabric::CatapultFabric* fabric,
+                             std::vector<host::HostServer*> hosts,
+                             Config config)
+    : simulator_(simulator),
+      fabric_(fabric),
+      hosts_(std::move(hosts)),
+      config_(config) {
+    assert(simulator_ != nullptr);
+    assert(fabric_ != nullptr);
+}
+
+void HealthMonitor::Investigate(
+    std::vector<int> nodes,
+    std::function<void(std::vector<MachineReport>)> on_done) {
+    ++counters_.investigations;
+    auto ctx = std::make_shared<Context>();
+    ctx->nodes = std::move(nodes);
+    ctx->reports.resize(ctx->nodes.size());
+    ctx->outstanding = ctx->nodes.size();
+    ctx->on_done = std::move(on_done);
+    if (ctx->nodes.empty()) {
+        ctx->on_done({});
+        return;
+    }
+    for (std::size_t i = 0; i < ctx->nodes.size(); ++i) {
+        QueryMachine(ctx, i);
+    }
+}
+
+void HealthMonitor::QueryMachine(std::shared_ptr<Context> ctx,
+                                 std::size_t idx) {
+    ++counters_.queries;
+    const int node = ctx->nodes[idx];
+    host::HostServer* host = hosts_[static_cast<std::size_t>(node)];
+    // Status query over Ethernet with a reply timeout.
+    simulator_->ScheduleAfter(
+        config_.ethernet_latency + config_.query_timeout,
+        [this, ctx, idx, node, host] {
+            MachineReport report;
+            report.node = node;
+            if (host->responsive()) {
+                HandleResponsive(ctx, idx, std::move(report));
+                return;
+            }
+            // §3.5 reboot ladder: soft reboot -> hard reboot -> flag.
+            ++counters_.soft_reboots;
+            report.needed_soft_reboot = true;
+            host->SoftReboot([this, ctx, idx, node, host,
+                              report]() mutable {
+                if (host->responsive()) {
+                    report.fault = FaultType::kUnresponsiveRecovered;
+                    HandleResponsive(ctx, idx, std::move(report));
+                    return;
+                }
+                ++counters_.hard_reboots;
+                report.needed_hard_reboot = true;
+                host->HardReboot([this, ctx, idx, node, host,
+                                  report]() mutable {
+                    if (host->responsive()) {
+                        report.fault = FaultType::kUnresponsiveRecovered;
+                        HandleResponsive(ctx, idx, std::move(report));
+                        return;
+                    }
+                    ++counters_.flagged_for_service;
+                    host->FlagForService();
+                    report.fault = FaultType::kUnresponsiveFatal;
+                    FinishMachine(ctx, idx, std::move(report));
+                });
+            });
+        });
+}
+
+void HealthMonitor::HandleResponsive(std::shared_ptr<Context> ctx,
+                                     std::size_t idx, MachineReport report) {
+    const int node = report.node;
+    report.health = fabric_->shell(node).CollectHealth();
+    const FaultType classified = Classify(node, report.health);
+    if (classified != FaultType::kNone) report.fault = classified;
+    FinishMachine(ctx, idx, std::move(report));
+}
+
+FaultType HealthMonitor::Classify(int node,
+                                  const shell::HealthVector& health) const {
+    // Highest-severity first.
+    if (health.temperature_shutdown) return FaultType::kTemperatureShutdown;
+    // Neighbour identity check: compare reported IDs against the wiring
+    // the topology expects (§3.5: "in case the cables are miswired or
+    // unplugged").
+    static constexpr shell::Port kPorts[4] = {
+        shell::Port::kNorth, shell::Port::kSouth, shell::Port::kEast,
+        shell::Port::kWest};
+    for (int i = 0; i < 4; ++i) {
+        const int expected_local =
+            fabric_->topology().NeighborOf(node, kPorts[i]);
+        const shell::NodeId expected = fabric_->GlobalId(expected_local);
+        if (health.neighbor_id[i] != shell::kInvalidNode &&
+            health.neighbor_id[i] != expected) {
+            return FaultType::kMiswiredCable;
+        }
+    }
+    for (bool link_error : health.link_error) {
+        if (link_error) return FaultType::kLinkError;
+    }
+    if (health.dram_calibration_failure) return FaultType::kDramError;
+    if (health.application_error) return FaultType::kApplicationError;
+    if (health.pcie_errors) return FaultType::kPcieError;
+    // Corrected DRAM bit errors alone are informational, not a fault.
+    return FaultType::kNone;
+}
+
+void HealthMonitor::FinishMachine(std::shared_ptr<Context> ctx,
+                                  std::size_t idx, MachineReport report) {
+    if (report.fault != FaultType::kNone) {
+        failed_machines_.push_back(report);
+        LOG_INFO("health_monitor")
+            << "node " << report.node << " fault: " << ToString(report.fault);
+        if (on_machine_failed_) on_machine_failed_(report);
+    }
+    ctx->reports[idx] = std::move(report);
+    if (--ctx->outstanding == 0) {
+        ctx->on_done(std::move(ctx->reports));
+    }
+}
+
+}  // namespace catapult::mgmt

@@ -1,0 +1,119 @@
+// Health Monitor (§3.3, §3.5).
+//
+// "The Health Monitor is invoked when there is a suspected failure in
+// one or more systems. [It] queries each machine to find its status. If
+// a server is unresponsive, it is put through a sequence of soft reboot,
+// hard reboot, and then flagged for manual service ... If the server is
+// operating correctly, it responds ... with information about the
+// health of its local FPGA and associated links" — the error vector —
+// "and the machine IDs of the north, south, east, and west neighbors of
+// an FPGA, to test whether the neighboring FPGAs in the torus are
+// accessible and that they are the machines that the system expects."
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "fabric/catapult_fabric.h"
+#include "host/host_server.h"
+#include "shell/shell.h"
+#include "sim/simulator.h"
+
+namespace catapult::mgmt {
+
+/** Classified failure recorded in the failed-machine list (§3.5). */
+enum class FaultType {
+    kNone,
+    kUnresponsiveRecovered,  ///< Came back after a reboot.
+    kUnresponsiveFatal,      ///< Flagged for manual service.
+    kLinkError,
+    kMiswiredCable,
+    kDramError,
+    kApplicationError,
+    kPcieError,
+    kTemperatureShutdown,
+};
+
+const char* ToString(FaultType type);
+
+/** One machine's investigation outcome. */
+struct MachineReport {
+    int node = -1;
+    FaultType fault = FaultType::kNone;
+    bool needed_soft_reboot = false;
+    bool needed_hard_reboot = false;
+    shell::HealthVector health;
+};
+
+class HealthMonitor {
+  public:
+    struct Config {
+        /** One-way Ethernet latency for status queries. */
+        Time ethernet_latency = Microseconds(150);
+        /** Wait for a status reply before declaring unresponsive. */
+        Time query_timeout = Seconds(2);
+    };
+
+    HealthMonitor(sim::Simulator* simulator, fabric::CatapultFabric* fabric,
+                  std::vector<host::HostServer*> hosts, Config config);
+    HealthMonitor(sim::Simulator* simulator, fabric::CatapultFabric* fabric,
+                  std::vector<host::HostServer*> hosts)
+        : HealthMonitor(simulator, fabric, std::move(hosts), Config()) {}
+
+    HealthMonitor(const HealthMonitor&) = delete;
+    HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+    /**
+     * Investigate a set of suspect machines; the reports arrive via
+     * `on_done` after queries and any needed reboot ladder. Machines
+     * with faults are appended to the failed-machine list, and the
+     * `on_machine_failed` hook (typically wired to the Mapping Manager)
+     * fires for each.
+     */
+    void Investigate(std::vector<int> nodes,
+                     std::function<void(std::vector<MachineReport>)> on_done);
+
+    /** Hook invoked for every faulted machine (drives re-mapping). */
+    void set_on_machine_failed(std::function<void(const MachineReport&)> cb) {
+        on_machine_failed_ = std::move(cb);
+    }
+
+    const std::vector<MachineReport>& failed_machine_list() const {
+        return failed_machines_;
+    }
+
+    struct Counters {
+        std::uint64_t investigations = 0;
+        std::uint64_t queries = 0;
+        std::uint64_t soft_reboots = 0;
+        std::uint64_t hard_reboots = 0;
+        std::uint64_t flagged_for_service = 0;
+    };
+    const Counters& counters() const { return counters_; }
+
+  private:
+    struct Context;
+
+    void QueryMachine(std::shared_ptr<Context> ctx, std::size_t idx);
+    void HandleResponsive(std::shared_ptr<Context> ctx, std::size_t idx,
+                          MachineReport report);
+    void FinishMachine(std::shared_ptr<Context> ctx, std::size_t idx,
+                       MachineReport report);
+
+    /** Classify an error vector into the dominant fault type. */
+    FaultType Classify(int node, const shell::HealthVector& health) const;
+
+    sim::Simulator* simulator_;
+    fabric::CatapultFabric* fabric_;
+    std::vector<host::HostServer*> hosts_;
+    Config config_;
+    std::vector<MachineReport> failed_machines_;
+    std::function<void(const MachineReport&)> on_machine_failed_;
+    Counters counters_;
+};
+
+}  // namespace catapult::mgmt

@@ -1,0 +1,137 @@
+#include "mgmt/mapping_manager.h"
+
+#include <cassert>
+#include <memory>
+
+#include "common/log.h"
+
+namespace catapult::mgmt {
+
+MappingManager::MappingManager(sim::Simulator* simulator,
+                               fabric::CatapultFabric* fabric,
+                               std::vector<host::HostServer*> hosts,
+                               Config config)
+    : simulator_(simulator),
+      fabric_(fabric),
+      hosts_(std::move(hosts)),
+      config_(config) {
+    assert(simulator_ != nullptr);
+    assert(fabric_ != nullptr);
+}
+
+void MappingManager::Deploy(const ServiceSpec& spec,
+                            std::function<void(bool)> on_done) {
+    ++counters_.deployments;
+    spec_ = spec;
+    role_to_node_.clear();
+    for (const auto& role : spec_.roles) {
+        role_to_node_[role.role_name] = role.node;
+    }
+    LOG_INFO("mapping_manager") << "deploying " << spec_.service_name
+                                << " across " << spec_.roles.size()
+                                << " nodes";
+    // Stage images into flash, then configure everything.
+    if (config_.images_preinstalled) {
+        for (const auto& role : spec_.roles) {
+            fabric_->device(role.node).flash().InstallImage(
+                fpga::FlashSlot::kApplication, role.image);
+        }
+        ConfigureAll(std::move(on_done));
+        return;
+    }
+    // Sequential flash writes per node happen inside ReconfigureFpga.
+    auto remaining = std::make_shared<int>(static_cast<int>(spec_.roles.size()));
+    auto all_ok = std::make_shared<bool>(true);
+    for (const auto& role : spec_.roles) {
+        host::HostServer* host = hosts_[static_cast<std::size_t>(role.node)];
+        simulator_->ScheduleAfter(
+            config_.ethernet_latency,
+            [this, host, image = role.image, remaining, all_ok,
+             on_done]() mutable {
+                host->ReconfigureFpga(
+                    image, [this, remaining, all_ok, on_done](bool ok) {
+                        *all_ok = *all_ok && ok;
+                        if (--*remaining == 0) {
+                            fabric_->InstallTorusRoutes();
+                            ReleaseAllRxHalts();
+                            on_done(*all_ok);
+                        }
+                    });
+            });
+    }
+    if (spec_.roles.empty()) on_done(true);
+}
+
+void MappingManager::ConfigureAll(std::function<void(bool)> on_done) {
+    auto remaining = std::make_shared<int>(static_cast<int>(spec_.roles.size()));
+    auto all_ok = std::make_shared<bool>(true);
+    if (spec_.roles.empty()) {
+        on_done(true);
+        return;
+    }
+    for (const auto& role : spec_.roles) {
+        host::HostServer* host = hosts_[static_cast<std::size_t>(role.node)];
+        simulator_->ScheduleAfter(
+            config_.ethernet_latency,
+            [this, host, remaining, all_ok, on_done]() mutable {
+                host->ReconfigureFromFlash(
+                    fpga::FlashSlot::kApplication,
+                    [this, remaining, all_ok, on_done](bool ok) {
+                        *all_ok = *all_ok && ok;
+                        if (--*remaining == 0) {
+                            // §3.4 ordering: routes + RX halt release only
+                            // after every FPGA in the pipeline is up.
+                            fabric_->InstallTorusRoutes();
+                            ReleaseAllRxHalts();
+                            on_done(*all_ok);
+                        }
+                    });
+            });
+    }
+}
+
+void MappingManager::ReconfigureInPlace(int node,
+                                        std::function<void(bool)> on_done) {
+    ++counters_.reconfigurations;
+    host::HostServer* host = hosts_[static_cast<std::size_t>(node)];
+    simulator_->ScheduleAfter(
+        config_.ethernet_latency,
+        [this, host, node, on_done = std::move(on_done)]() mutable {
+            host->ReconfigureFromFlash(
+                fpga::FlashSlot::kApplication,
+                [this, node, on_done = std::move(on_done)](bool ok) {
+                    if (ok) {
+                        // Reinstall this node's routes and release its halt.
+                        auto& table =
+                            fabric_->shell(node).router().routing_table();
+                        table.Clear();
+                        fabric_->topology().BuildRoutingTable(
+                            node, fabric_->node_base(), table);
+                        fabric_->shell(node).ReleaseRxHalt();
+                        ++counters_.rx_halt_releases;
+                    }
+                    on_done(ok);
+                });
+        });
+}
+
+void MappingManager::ReleaseAllRxHalts() {
+    for (const auto& role : spec_.roles) {
+        fabric_->shell(role.node).ReleaseRxHalt();
+        ++counters_.rx_halt_releases;
+    }
+}
+
+int MappingManager::NodeOfRole(const std::string& role_name) const {
+    const auto it = role_to_node_.find(role_name);
+    return it == role_to_node_.end() ? -1 : it->second;
+}
+
+std::string MappingManager::RoleAtNode(int node) const {
+    for (const auto& [role, n] : role_to_node_) {
+        if (n == node) return role;
+    }
+    return {};
+}
+
+}  // namespace catapult::mgmt

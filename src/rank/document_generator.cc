@@ -1,0 +1,103 @@
+#include "rank/document_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace catapult::rank {
+
+DocumentGenerator::DocumentGenerator(std::uint64_t seed, Config config)
+    : config_(config), rng_(seed) {
+    // Default calibrated to the actual tuple-encoding mix; see the
+    // document_generator tests which validate wire_bytes vs EncodedSize.
+    if (config_.bytes_per_tuple <= 0.0) config_.bytes_per_tuple = 2.7;
+}
+
+double DocumentGenerator::DrawTargetBytes() {
+    const bool big = rng_.Chance(config_.big_component_weight);
+    const double mean = big ? config_.big_mean_bytes : config_.small_mean_bytes;
+    const double sigma = big ? config_.big_sigma : config_.small_sigma;
+    // Parameterize the lognormal by its arithmetic mean:
+    //   E[X] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+    const double mu = std::log(mean) - sigma * sigma / 2.0;
+    return rng_.LogNormal(mu, sigma);
+}
+
+CompressedRequest DocumentGenerator::Next() {
+    // Oversized draws flow into Build() uncapped so the §4.1 truncation
+    // to 64 KB is applied (and counted) there.
+    const double target = DrawTargetBytes();
+    return Build(static_cast<Bytes>(target));
+}
+
+CompressedRequest DocumentGenerator::WithTargetSize(Bytes target) {
+    return Build(std::min(target, kMaxCompressedBytes));
+}
+
+CompressedRequest DocumentGenerator::Build(Bytes target) {
+    CompressedRequest request;
+    request.doc_id = next_doc_id_++;
+    request.content_seed = rng_.Next();
+    request.query.query_id = rng_.Next();
+    request.query.model_id = static_cast<std::uint32_t>(
+        rng_.NextBounded(config_.model_count));
+    request.query.term_count =
+        1 + static_cast<int>(rng_.NextBounded(kMaxQueryTerms));
+
+    const int feature_count = static_cast<int>(
+        rng_.UniformInt(config_.min_software_features,
+                        config_.max_software_features));
+    request.software_features.reserve(static_cast<std::size_t>(feature_count));
+    for (int i = 0; i < feature_count; ++i) {
+        SoftwareFeature feature;
+        // Software-computed feature ids live in their own range above
+        // the FPGA-computed dynamic features.
+        feature.feature_id = static_cast<std::uint16_t>(
+            60'000 + rng_.NextBounded(1'000));
+        feature.value = static_cast<float>(rng_.Uniform(0.0, 8.0));
+        request.software_features.push_back(feature);
+    }
+
+    // Apportion the target bytes: header + software features are fixed;
+    // the remainder is hit vector, sized by the mean tuple encoding.
+    // (For typical documents the hit vector is the vast majority of the
+    // payload, matching §4.1.)
+    const Bytes fixed = CompressedRequest::HeaderSize() +
+                        static_cast<Bytes>(request.software_features.size()) * 6;
+    const Bytes hit_bytes =
+        std::max<Bytes>(target - fixed, static_cast<Bytes>(config_.bytes_per_tuple));
+    request.tuple_count = static_cast<std::uint32_t>(std::max<Bytes>(
+        1, static_cast<Bytes>(static_cast<double>(hit_bytes) /
+                              config_.bytes_per_tuple)));
+
+    // Cap the encoded size at 64 KB by shaving tuples if needed.
+    const double max_tuples =
+        (static_cast<double>(kMaxCompressedBytes - fixed)) /
+        config_.bytes_per_tuple;
+    if (static_cast<double>(request.tuple_count) > max_tuples) {
+        request.tuple_count = static_cast<std::uint32_t>(max_tuples);
+        request.truncated = true;
+        ++truncated_;
+    }
+
+    // Document length in tokens: hits are a few percent of tokens.
+    request.document_length =
+        request.tuple_count * 20 +
+        static_cast<std::uint32_t>(rng_.NextBounded(1'000));
+    request.wire_bytes =
+        fixed + static_cast<Bytes>(static_cast<double>(request.tuple_count) *
+                                   config_.bytes_per_tuple);
+    if (request.wire_bytes > kMaxCompressedBytes) {
+        request.wire_bytes = kMaxCompressedBytes;
+    }
+    return request;
+}
+
+std::vector<CompressedRequest> DocumentGenerator::Corpus(int count) {
+    std::vector<CompressedRequest> corpus;
+    corpus.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) corpus.push_back(Next());
+    return corpus;
+}
+
+}  // namespace catapult::rank

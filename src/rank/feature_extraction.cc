@@ -1,0 +1,367 @@
+#include "rank/feature_extraction.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace catapult::rank {
+
+namespace {
+
+/**
+ * Build the 43 FSM descriptors. Feature ids are packed contiguously:
+ * 30 rich per-(stream,term) FSMs emit 3 values per cell (primary,
+ * length-normalized, log-compressed), 10 emit 2, and the 3 aggregate
+ * FSMs own the tail of the id space; kTermShare's allocation includes
+ * reserved ids for future term slots, so the dynamic space totals
+ * exactly 4,484 features.
+ */
+std::vector<FsmDescriptor> BuildDescriptors() {
+    struct Spec {
+        FsmKind kind;
+        const char* name;
+        std::uint32_t param;
+        std::uint32_t values_per_cell;
+        std::uint32_t cells;  // 0 => per (stream, term)
+    };
+    const std::uint32_t st = kMetastreamCount * kMaxQueryTerms;  // 40
+    std::vector<Spec> specs = {
+        // 30 rich per-(stream,term) FSMs, 3 values per cell.
+        {FsmKind::kCountOccurrences, "NumberOfOccurrences", 0, 3, st},
+        {FsmKind::kCountOccurrences, "NumberOfOccurrences.props", 1, 3, st},
+        {FsmKind::kCountOccurrences, "NumberOfOccurrences.tight", 2, 3, st},
+        {FsmKind::kFirstOccurrence, "FirstOccurrence", 0, 3, st},
+        {FsmKind::kLastOccurrence, "LastOccurrence", 0, 3, st},
+        {FsmKind::kCoverageSpan, "CoverageSpan", 0, 3, st},
+        {FsmKind::kMeanGap, "MeanGap", 0, 3, st},
+        {FsmKind::kMaxGap, "MaxGap", 0, 3, st},
+        {FsmKind::kPropertySum, "PropertySum", 0, 3, st},
+        {FsmKind::kPropertySum, "PropertySum.high", 1, 3, st},
+        {FsmKind::kPropertyMax, "PropertyMax", 0, 3, st},
+        {FsmKind::kBigramAdjacency, "BigramNext", 0, 3, st},
+        {FsmKind::kBigramAdjacency, "BigramRepeat", 1, 3, st},
+        {FsmKind::kBigramAdjacency, "BigramCrossStream", 2, 3, st},
+        {FsmKind::kProximityWindow, "Proximity.8", 8, 3, st},
+        {FsmKind::kProximityWindow, "Proximity.16", 16, 3, st},
+        {FsmKind::kProximityWindow, "Proximity.32", 32, 3, st},
+        {FsmKind::kProximityWindow, "Proximity.64", 64, 3, st},
+        {FsmKind::kProximityWindow, "Proximity.128", 128, 3, st},
+        {FsmKind::kProximityWindow, "Proximity.256", 256, 3, st},
+        {FsmKind::kProximityWindow, "Proximity.512", 512, 3, st},
+        {FsmKind::kProximityWindow, "Proximity.1024", 1024, 3, st},
+        {FsmKind::kEarlySection, "Early.128", 128, 3, st},
+        {FsmKind::kEarlySection, "Early.512", 512, 3, st},
+        {FsmKind::kEarlySection, "Early.2048", 2048, 3, st},
+        {FsmKind::kEarlySection, "Early.8192", 8192, 3, st},
+        {FsmKind::kEarlySection, "Early.32768", 32768, 3, st},
+        {FsmKind::kFirstOccurrence, "FirstOccurrence.props", 1, 3, st},
+        {FsmKind::kLastOccurrence, "LastOccurrence.props", 1, 3, st},
+        {FsmKind::kMaxGap, "MaxGap.props", 1, 3, st},
+        // 10 per-(stream,term) FSMs, 2 values per cell.
+        {FsmKind::kCountOccurrences, "NumberOfOccurrences.wide", 3, 2, st},
+        {FsmKind::kFirstOccurrence, "FirstOccurrence.tight", 2, 2, st},
+        {FsmKind::kLastOccurrence, "LastOccurrence.tight", 2, 2, st},
+        {FsmKind::kCoverageSpan, "CoverageSpan.props", 1, 2, st},
+        {FsmKind::kMeanGap, "MeanGap.props", 1, 2, st},
+        {FsmKind::kPropertySum, "PropertySum.low", 2, 2, st},
+        {FsmKind::kPropertyMax, "PropertyMax.props", 1, 2, st},
+        {FsmKind::kBigramAdjacency, "BigramNext.props", 3, 2, st},
+        {FsmKind::kProximityWindow, "Proximity.4096", 4096, 2, st},
+        {FsmKind::kEarlySection, "Early.131072", 131072, 2, st},
+        // Aggregate FSMs.
+        {FsmKind::kDensity, "StreamDensity", 0, 2, kMetastreamCount},
+        {FsmKind::kStreamSpan, "StreamSpan", 0, 2, kMetastreamCount},
+        // kTermShare owns 68 ids: 10 terms x 3 emitted + 38 reserved,
+        // bringing the dynamic feature space to exactly 4,484.
+        {FsmKind::kTermShare, "TermShare", 0, 3, kMaxQueryTerms},
+    };
+
+    std::vector<FsmDescriptor> descriptors;
+    descriptors.reserve(specs.size());
+    std::uint32_t next_id = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const Spec& spec = specs[i];
+        FsmDescriptor d;
+        d.kind = spec.kind;
+        d.name = spec.name;
+        d.param = spec.param;
+        d.feature_base = next_id;
+        d.feature_count = spec.cells * spec.values_per_cell;
+        if (i + 1 == specs.size()) {
+            d.feature_count = kDynamicFeatureCount - next_id;  // reserved tail
+        }
+        next_id += d.feature_count;
+        descriptors.push_back(std::move(d));
+    }
+    assert(descriptors.size() == 43);
+    assert(next_id == kDynamicFeatureCount);
+    return descriptors;
+}
+
+/** Values per cell for a descriptor (from its allocation). */
+std::uint32_t ValuesPerCell(const FsmDescriptor& d) {
+    switch (d.kind) {
+      case FsmKind::kDensity:
+      case FsmKind::kStreamSpan:
+        return d.feature_count / kMetastreamCount;
+      case FsmKind::kTermShare:
+        return 3;  // remaining ids are reserved
+      default:
+        return d.feature_count / (kMetastreamCount * kMaxQueryTerms);
+    }
+}
+
+}  // namespace
+
+FeatureFsm::FeatureFsm(const FsmDescriptor& descriptor)
+    : descriptor_(descriptor) {
+    Reset();
+}
+
+void FeatureFsm::Reset() {
+    cells_.fill(Cell{});
+    stream_totals_.fill(0);
+    total_hits_ = 0;
+    previous_term_ = 0xFF;
+    previous_stream_ = 0xFF;
+    previous_position_ = 0;
+}
+
+FeatureFsm::Cell& FeatureFsm::CellFor(int stream, int term) {
+    return cells_[static_cast<std::size_t>(stream) * kMaxQueryTerms +
+                  static_cast<std::size_t>(term)];
+}
+
+void FeatureFsm::Consume(const HitTuple& tuple, std::uint32_t position) {
+    const int stream = tuple.stream % kMetastreamCount;
+    const int term = tuple.term % kMaxQueryTerms;
+    Cell& cell = CellFor(stream, term);
+    ++total_hits_;
+    ++stream_totals_[static_cast<std::size_t>(stream)];
+
+    // Kind-specific filters decide whether this tuple "counts".
+    bool counts = true;
+    std::uint32_t value = 1;
+    switch (descriptor_.kind) {
+      case FsmKind::kCountOccurrences:
+        if (descriptor_.param == 1) counts = tuple.properties != 0;
+        else if (descriptor_.param == 2) counts = tuple.delta < 4;
+        else if (descriptor_.param == 3) counts = tuple.delta >= 4;
+        break;
+      case FsmKind::kFirstOccurrence:
+      case FsmKind::kLastOccurrence:
+      case FsmKind::kCoverageSpan:
+        if (descriptor_.param == 1) counts = tuple.properties != 0;
+        else if (descriptor_.param == 2) counts = tuple.delta < 4;
+        value = position;
+        break;
+      case FsmKind::kMeanGap:
+        if (descriptor_.param == 1) counts = tuple.properties != 0;
+        value = tuple.delta;
+        break;
+      case FsmKind::kMaxGap:
+        if (descriptor_.param == 1) counts = tuple.properties != 0;
+        value = tuple.delta;
+        break;
+      case FsmKind::kPropertySum:
+        if (descriptor_.param == 1) counts = tuple.properties >= 256;
+        else if (descriptor_.param == 2) {
+            counts = tuple.properties > 0 && tuple.properties < 256;
+        } else {
+            counts = tuple.properties != 0;
+        }
+        value = tuple.properties;
+        break;
+      case FsmKind::kPropertyMax:
+        if (descriptor_.param == 1) counts = tuple.properties >= 16;
+        value = tuple.properties;
+        break;
+      case FsmKind::kBigramAdjacency:
+        switch (descriptor_.param) {
+          case 0:
+            counts = previous_stream_ == stream &&
+                     previous_term_ + 1 == tuple.term;
+            break;
+          case 1:
+            counts = previous_stream_ == stream && previous_term_ == tuple.term;
+            break;
+          case 2:
+            counts = previous_stream_ != stream &&
+                     previous_stream_ != 0xFF && previous_term_ == tuple.term;
+            break;
+          default:
+            counts = previous_stream_ == stream &&
+                     previous_term_ + 1 == tuple.term && tuple.properties != 0;
+            break;
+        }
+        break;
+      case FsmKind::kProximityWindow:
+        counts = previous_stream_ == stream && tuple.delta <= descriptor_.param;
+        break;
+      case FsmKind::kEarlySection:
+        counts = position <= descriptor_.param;
+        break;
+      case FsmKind::kDensity:
+      case FsmKind::kStreamSpan:
+        value = tuple.delta;
+        break;
+      case FsmKind::kTermShare:
+        break;
+    }
+
+    if (counts) {
+        ++cell.count;
+        if (cell.count == 1) cell.first = position;
+        cell.last = position;
+        cell.sum += value;
+        if (value > cell.max) cell.max = value;
+        if (tuple.delta > cell.max_gap) cell.max_gap = tuple.delta;
+    }
+
+    previous_term_ = tuple.term;
+    previous_stream_ = static_cast<std::uint8_t>(stream);
+    previous_position_ = position;
+}
+
+void FeatureFsm::Emit(const CompressedRequest& request,
+                      FeatureStore& store) const {
+    const std::uint32_t vpc = ValuesPerCell(descriptor_);
+    const float doc_norm =
+        1.0f / (1.0f + static_cast<float>(request.document_length));
+
+    auto emit_cell = [&](std::uint32_t cell_index, float primary) {
+        if (primary == 0.0f) return;  // §4.4: only non-zero values emitted
+        const std::uint32_t base =
+            descriptor_.feature_base + cell_index * vpc;
+        store.Set(base, primary);
+        if (vpc >= 2) store.Set(base + 1, primary * doc_norm);
+        if (vpc >= 3) store.Set(base + 2, std::log1p(primary));
+    };
+
+    switch (descriptor_.kind) {
+      case FsmKind::kDensity:
+        for (int s = 0; s < kMetastreamCount; ++s) {
+            const auto hits = stream_totals_[static_cast<std::size_t>(s)];
+            emit_cell(static_cast<std::uint32_t>(s),
+                      static_cast<float>(hits) /
+                          (1.0f + static_cast<float>(request.document_length)));
+        }
+        return;
+      case FsmKind::kStreamSpan: {
+        for (int s = 0; s < kMetastreamCount; ++s) {
+            // Span accumulated in the per-stream cells' sums.
+            std::uint64_t span = 0;
+            for (int t = 0; t < kMaxQueryTerms; ++t) {
+                span += cells_[static_cast<std::size_t>(s) * kMaxQueryTerms +
+                               static_cast<std::size_t>(t)].sum;
+            }
+            emit_cell(static_cast<std::uint32_t>(s), static_cast<float>(span));
+        }
+        return;
+      }
+      case FsmKind::kTermShare: {
+        if (total_hits_ == 0) return;
+        for (int t = 0; t < kMaxQueryTerms; ++t) {
+            std::uint32_t term_hits = 0;
+            for (int s = 0; s < kMetastreamCount; ++s) {
+                term_hits +=
+                    cells_[static_cast<std::size_t>(s) * kMaxQueryTerms +
+                           static_cast<std::size_t>(t)].count;
+            }
+            emit_cell(static_cast<std::uint32_t>(t),
+                      static_cast<float>(term_hits) /
+                          static_cast<float>(total_hits_));
+        }
+        return;
+      }
+      default:
+        break;
+    }
+
+    for (std::uint32_t cell_index = 0;
+         cell_index < static_cast<std::uint32_t>(kMetastreamCount) * kMaxQueryTerms;
+         ++cell_index) {
+        const Cell& cell = cells_[cell_index];
+        if (cell.count == 0) continue;
+        float primary = 0.0f;
+        switch (descriptor_.kind) {
+          case FsmKind::kCountOccurrences:
+          case FsmKind::kBigramAdjacency:
+          case FsmKind::kProximityWindow:
+          case FsmKind::kEarlySection:
+            primary = static_cast<float>(cell.count);
+            break;
+          case FsmKind::kFirstOccurrence:
+            primary = static_cast<float>(cell.first);
+            break;
+          case FsmKind::kLastOccurrence:
+            primary = static_cast<float>(cell.last);
+            break;
+          case FsmKind::kCoverageSpan:
+            primary = static_cast<float>(cell.last - cell.first);
+            break;
+          case FsmKind::kMeanGap:
+            primary = static_cast<float>(cell.sum) /
+                      static_cast<float>(cell.count);
+            break;
+          case FsmKind::kMaxGap:
+            primary = static_cast<float>(cell.max_gap);
+            break;
+          case FsmKind::kPropertySum:
+            primary = static_cast<float>(cell.sum);
+            break;
+          case FsmKind::kPropertyMax:
+            primary = static_cast<float>(cell.max);
+            break;
+          default:
+            break;
+        }
+        emit_cell(cell_index, primary);
+    }
+}
+
+FeatureExtractor::FeatureExtractor() {
+    for (const auto& descriptor : Descriptors()) {
+        fsms_.push_back(std::make_unique<FeatureFsm>(descriptor));
+    }
+}
+
+const std::vector<FsmDescriptor>& FeatureExtractor::Descriptors() {
+    static const std::vector<FsmDescriptor> descriptors = BuildDescriptors();
+    return descriptors;
+}
+
+void FeatureExtractor::Extract(const CompressedRequest& request,
+                               FeatureStore& store) {
+    for (auto& fsm : fsms_) fsm->Reset();
+
+    // The Stream Processing FSM issues each tuple to all 43 FSMs (MISD).
+    HitVectorReader reader(request);
+    HitTuple tuple;
+    std::uint32_t position = 0;
+    while (reader.Next(tuple)) {
+        position += tuple.delta;
+        for (auto& fsm : fsms_) fsm->Consume(tuple, position);
+    }
+
+    // Feature Gathering Network: coalesce all non-zero outputs.
+    for (const auto& fsm : fsms_) fsm->Emit(request, store);
+
+    // Software-computed features ride along with the request (§4.1).
+    for (const auto& feature : request.software_features) {
+        store.Set(SoftwareFeatureSlot(feature.feature_id), feature.value);
+    }
+}
+
+Time FeatureExtractor::ServiceTime(std::uint32_t tuple_count) const {
+    const auto cycles =
+        timing_.base_cycles +
+        static_cast<std::int64_t>(
+            std::ceil(timing_.cycles_per_tuple * tuple_count));
+    return timing_.clock.Cycles(cycles);
+}
+
+Time FeatureExtractor::ServiceTime(const CompressedRequest& request) const {
+    return ServiceTime(request.tuple_count);
+}
+
+}  // namespace catapult::rank

@@ -1,0 +1,138 @@
+// Feature Extraction (FE) stage (§4.4).
+//
+// "We currently implement 43 unique feature extraction state machines,
+// with up to 4,484 features calculated ... Each state machine reads the
+// stream of tuples one at a time and performs a local calculation ...
+// At the end of a stream, the state machine outputs all non-zero
+// feature values." The 43 FSMs run in parallel on the same input stream
+// (MISD), fed by a Stream Processing FSM and drained by a Feature
+// Gathering Network; inputs are double-buffered.
+//
+// Functionally, each FSM here is a real streaming state machine over
+// the hit-vector tuples; the same code runs in the simulated FPGA role
+// and in the software baseline, which is what makes the two paths'
+// scores identical (§4). Timing-wise, the stage cost is the stream
+// issue rate (the FSMs themselves keep up at 1-2 cycles per token
+// because they run in parallel).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "rank/document.h"
+#include "rank/feature_space.h"
+
+namespace catapult::rank {
+
+/** Identifies one of the 43 FSM computation kinds. */
+enum class FsmKind : std::uint8_t {
+    kCountOccurrences,   ///< Hits per (stream, term).
+    kFirstOccurrence,    ///< Position of first hit per (stream, term).
+    kLastOccurrence,     ///< Position of last hit per (stream, term).
+    kCoverageSpan,       ///< last - first per (stream, term).
+    kMeanGap,            ///< Mean delta between hits per (stream, term).
+    kMaxGap,             ///< Largest delta per (stream, term).
+    kPropertySum,        ///< Sum of tuple properties per (stream, term).
+    kPropertyMax,        ///< Max property per (stream, term).
+    kBigramAdjacency,    ///< term t directly followed by t+1 (stream, term).
+    kProximityWindow,    ///< Hits within a window of the previous hit.
+    kEarlySection,       ///< Hits before a position threshold.
+    kDensity,            ///< Hits / document length per stream.
+    kStreamSpan,         ///< Total advance per stream.
+    kTermShare,          ///< Term's share of all hits (per term).
+};
+
+/** Static descriptor for one FSM instance. */
+struct FsmDescriptor {
+    FsmKind kind;
+    std::string name;
+    /** Variant parameter (window size, position threshold, etc.). */
+    std::uint32_t param = 0;
+    /** First feature id owned by this FSM. */
+    std::uint32_t feature_base = 0;
+    /** Number of feature ids owned. */
+    std::uint32_t feature_count = 0;
+};
+
+/**
+ * One streaming feature state machine. Consume() is called once per
+ * tuple in stream order; Emit() writes the non-zero results.
+ */
+class FeatureFsm {
+  public:
+    explicit FeatureFsm(const FsmDescriptor& descriptor);
+
+    void Reset();
+    void Consume(const HitTuple& tuple, std::uint32_t position);
+    void Emit(const CompressedRequest& request, FeatureStore& store) const;
+
+    const FsmDescriptor& descriptor() const { return descriptor_; }
+
+  private:
+    struct Cell {
+        std::uint32_t count = 0;
+        std::uint32_t first = 0;
+        std::uint32_t last = 0;
+        std::uint32_t max_gap = 0;
+        std::uint64_t sum = 0;
+        std::uint32_t max = 0;
+    };
+
+    Cell& CellFor(int stream, int term);
+
+    FsmDescriptor descriptor_;
+    std::array<Cell, kMetastreamCount * kMaxQueryTerms> cells_;
+    std::array<std::uint32_t, kMetastreamCount> stream_totals_{};
+    std::uint32_t total_hits_ = 0;
+    std::uint8_t previous_term_ = 0xFF;
+    std::uint8_t previous_stream_ = 0xFF;
+    std::uint32_t previous_position_ = 0;
+};
+
+/**
+ * The complete FE stage: stream processor + 43 FSMs + gathering network.
+ */
+class FeatureExtractor {
+  public:
+    struct Timing {
+        Frequency clock = Frequency::MHz(150.0);  ///< Table 1.
+        /** Fixed cycles: header parse, FST swap, gather drain. */
+        std::int64_t base_cycles = 250;
+        /**
+         * Effective issue cycles per hit-vector tuple. The Stream
+         * Processing FSM dispatches tokens to all 43 FSMs in parallel
+         * (MISD), so the effective per-tuple rate is sub-cycle.
+         */
+        double cycles_per_tuple = 0.5;
+    };
+
+    FeatureExtractor();
+
+    /** The 43 FSM descriptors (§4.4). */
+    static const std::vector<FsmDescriptor>& Descriptors();
+
+    /**
+     * Run the full extraction for a request: streams every tuple
+     * through all 43 FSMs and writes non-zero features + remapped
+     * software features into `store`.
+     */
+    void Extract(const CompressedRequest& request, FeatureStore& store);
+
+    /** Stage service time for a request (§4.2 macropipeline budget). */
+    Time ServiceTime(const CompressedRequest& request) const;
+    Time ServiceTime(std::uint32_t tuple_count) const;
+
+    const Timing& timing() const { return timing_; }
+    Timing& timing() { return timing_; }
+
+  private:
+    Timing timing_;
+    std::vector<std::unique_ptr<FeatureFsm>> fsms_;
+};
+
+}  // namespace catapult::rank

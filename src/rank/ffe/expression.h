@@ -1,0 +1,117 @@
+// Free Form Expressions (§4.5): mathematical combinations of extracted
+// features.
+//
+// "There are typically thousands of FFEs, ranging from very simple
+// (such as adding two features) to large and complex (thousands of
+// operations including conditional execution and complex floating
+// point operators such as ln, pow, and divide)."
+//
+// Expressions are ASTs over feature references and constants. The same
+// AST is evaluated directly by the software baseline and compiled to
+// the FFE processor ISA for the FPGA path; the compiler preserves
+// evaluation order so both paths produce bit-identical floats.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "rank/feature_space.h"
+
+namespace catapult::rank::ffe {
+
+enum class OpCode : std::uint8_t {
+    // Simple fully-pipelined ops.
+    kAdd,
+    kSub,
+    kMul,
+    kMax,
+    kMin,
+    kCmpGt,    ///< 1.0f if a > b else 0.0f.
+    kSelect,   ///< cond != 0 ? a : b  (conditional execution).
+    // Complex-block ops (shared per 6-core cluster, §4.5).
+    kDiv,
+    kLn,
+    kExp,
+    kFloatToInt,  ///< truncation to integer value, still carried as float.
+    // Leaf loads.
+    kLoadFeature,
+    kLoadConst,
+};
+
+const char* ToString(OpCode op);
+
+/** True for ops executed by the cluster-shared complex block. */
+bool IsComplexOp(OpCode op);
+
+/** Expression AST node. */
+struct Expr {
+    OpCode op = OpCode::kLoadConst;
+    float constant = 0.0f;          ///< kLoadConst.
+    std::uint32_t feature = 0;      ///< kLoadFeature.
+    std::vector<std::unique_ptr<Expr>> children;
+
+    /** Total operation count (nodes). */
+    int OpCount() const;
+    /** Count of complex-block operations. */
+    int ComplexOpCount() const;
+    /** Depth of the tree. */
+    int Depth() const;
+
+    /** Direct recursive evaluation against a feature store. */
+    float Evaluate(const FeatureStore& store) const;
+
+    std::unique_ptr<Expr> Clone() const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+ExprPtr MakeConst(float value);
+ExprPtr MakeFeature(std::uint32_t feature);
+ExprPtr MakeUnary(OpCode op, ExprPtr a);
+ExprPtr MakeBinary(OpCode op, ExprPtr a, ExprPtr b);
+ExprPtr MakeSelect(ExprPtr cond, ExprPtr if_true, ExprPtr if_false);
+
+/**
+ * Random expression generator for synthetic models. Sizes follow the
+ * paper's description: most expressions are small, a heavy tail runs
+ * to thousands of operations. `pow`, integer divide and mod are
+ * compiler-expanded (§4.5), so the generator emits only primitive ops.
+ */
+class ExpressionGenerator {
+  public:
+    struct Config {
+        /** P(small expression); small ~ 3-40 ops, else heavy tail. */
+        double small_probability = 0.90;
+        int small_min_ops = 3;
+        int small_max_ops = 40;
+        /** Heavy tail: lognormal, capped. */
+        double tail_mean_ops = 250.0;
+        double tail_sigma = 0.9;
+        int max_ops = 4'000;
+        /** Probability an internal node is a complex op. */
+        double complex_probability = 0.12;
+        /** Probability of conditional (select) nodes. */
+        double select_probability = 0.06;
+    };
+
+    ExpressionGenerator(std::uint64_t seed, Config config);
+    explicit ExpressionGenerator(std::uint64_t seed)
+        : ExpressionGenerator(seed, Config()) {}
+
+    /** Generate one expression with a sampled size. */
+    ExprPtr Generate();
+
+    /** Generate one expression with approximately `target_ops` nodes. */
+    ExprPtr GenerateWithSize(int target_ops);
+
+  private:
+    ExprPtr Build(int budget);
+
+    Config config_;
+    Rng rng_;
+};
+
+}  // namespace catapult::rank::ffe

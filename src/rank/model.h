@@ -1,0 +1,147 @@
+// Ranking models and the model store (§4.3).
+//
+// "In practice there are many different sets of features, free forms,
+// and scorers. We call these different sets models. Different models
+// are selected based on each query, and can vary for language, query
+// type, or for trying out experimental models."
+//
+// A Model bundles the FFE expression set (compiled into the two FFE
+// chips' program partitions, with oversized expressions split via
+// metafeatures), the scoring ensemble (sharded across the three scoring
+// chips) and the programmed compression stage. The ModelStore holds all
+// models resident in board DRAM and prices Model Reload: "In the worst
+// case, it requires all of the embedded M20K RAMs to be reloaded with
+// new contents from DRAM ... up to 250 us" at DDR3-1333.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "rank/compression.h"
+#include "rank/document.h"
+#include "rank/feature_extraction.h"
+#include "rank/feature_space.h"
+#include "rank/ffe/compiler.h"
+#include "rank/ffe/expression.h"
+#include "rank/ffe/processor.h"
+#include "rank/scorer.h"
+
+namespace catapult::rank {
+
+/** Identifies which ring stage a reload cost is asked for. */
+enum class PipelineStage : int {
+    kFeatureExtraction = 0,
+    kFfe0 = 1,
+    kFfe1 = 2,
+    kCompression = 3,
+    kScoring0 = 4,
+    kScoring1 = 5,
+    kScoring2 = 6,
+    kSpare = 7,
+};
+
+inline constexpr int kPipelineStageCount = 8;
+
+const char* ToString(PipelineStage stage);
+
+/** One complete ranking model. */
+class Model {
+  public:
+    struct Config {
+        int expression_count = 1'600;  ///< "typically thousands of FFEs".
+        int tree_count = 6'000;
+        int tree_depth = 6;
+        ffe::ExpressionGenerator::Config expressions;
+        ffe::FfeCompiler::Config compiler;
+    };
+
+    /** Deterministically synthesize the model for (model_id, seed). */
+    static std::unique_ptr<Model> Generate(std::uint32_t model_id,
+                                           std::uint64_t seed, Config config);
+    static std::unique_ptr<Model> Generate(std::uint32_t model_id,
+                                           std::uint64_t seed) {
+        return Generate(model_id, seed, Config());
+    }
+
+    std::uint32_t model_id() const { return model_id_; }
+
+    /** Original (unsplit) expressions — the software reference. */
+    const std::vector<ffe::ExprPtr>& expressions() const {
+        return expressions_;
+    }
+
+    /** Compiled partitions for the two FFE chips. */
+    const std::vector<ffe::Program>& ffe0_programs() const { return ffe0_; }
+    const std::vector<ffe::Program>& ffe1_programs() const { return ffe1_; }
+
+    const ScoringEnsemble& ensemble() const { return ensemble_; }
+    const CompressionStage& compression() const { return compression_; }
+
+    /** Model memory that stage must reload on a model switch (§4.3). */
+    Bytes ReloadBytes(PipelineStage stage) const;
+
+    /** Total FFE operation count (software cost model input). */
+    std::int64_t total_ffe_ops() const { return total_ffe_ops_; }
+    std::int64_t total_tree_nodes() const;
+    int metafeature_count() const { return metafeature_count_; }
+
+  private:
+    Model() = default;
+
+    std::uint32_t model_id_ = 0;
+    std::vector<ffe::ExprPtr> expressions_;
+    std::vector<ffe::Program> ffe0_;
+    std::vector<ffe::Program> ffe1_;
+    ScoringEnsemble ensemble_;
+    CompressionStage compression_;
+    std::int64_t total_ffe_ops_ = 0;
+    int metafeature_count_ = 0;
+};
+
+/**
+ * All models resident in board DRAM, plus the reload cost model.
+ */
+class ModelStore {
+  public:
+    struct Config {
+        /** Dual-channel DDR3-1333 streaming rate during reload. */
+        Bandwidth reload_bandwidth = Bandwidth::MegabytesPerSecond(21'334);
+        /** Command/quiesce overhead per stage reload. */
+        Time reload_overhead = Microseconds(5);
+        Model::Config model;
+    };
+
+    ModelStore() : ModelStore(Config()) {}
+    explicit ModelStore(Config config) : config_(config) {}
+
+    /** Create (or return) the model for `model_id`. */
+    const Model& GetOrGenerate(std::uint32_t model_id, std::uint64_t seed);
+
+    const Model* Find(std::uint32_t model_id) const;
+
+    /** Reload duration for one stage switching to `model`. */
+    Time StageReloadTime(const Model& model, PipelineStage stage) const;
+
+    /**
+     * Pipeline reload duration: stages reload concurrently once the
+     * Model Reload command reaches them, so the pipeline stall is the
+     * maximum stage reload plus command propagation.
+     */
+    Time PipelineReloadTime(const Model& model) const;
+
+    /** §4.3 worst case: every M20K block reloaded from DRAM. */
+    Time WorstCaseReloadTime() const;
+
+    std::size_t resident_models() const { return models_.size(); }
+    const Config& config() const { return config_; }
+
+  private:
+    Config config_;
+    std::map<std::uint32_t, std::unique_ptr<Model>> models_;
+};
+
+}  // namespace catapult::rank

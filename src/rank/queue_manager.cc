@@ -1,0 +1,84 @@
+#include "rank/queue_manager.h"
+
+namespace catapult::rank {
+
+void QueueManager::Enqueue(std::uint32_t model_id, EntryId entry, Time now) {
+    queues_[model_id].push_back(entry);
+    ++total_queued_;
+    ++counters_.enqueued;
+    if (!has_model_) {
+        // First work after idle: adopt that model without a reload only
+        // if it matches; otherwise Next() will issue the reload.
+        current_since_ = now;
+    }
+}
+
+bool QueueManager::PickNextModel(std::uint32_t& model_id) const {
+    // Round-robin over model ids strictly after the current one, wrapping.
+    if (queues_.empty()) return false;
+    auto it = has_model_ ? queues_.upper_bound(current_model_) : queues_.begin();
+    for (std::size_t scanned = 0; scanned < queues_.size() + 1; ++scanned) {
+        if (it == queues_.end()) it = queues_.begin();
+        if (!it->second.empty()) {
+            model_id = it->first;
+            return true;
+        }
+        ++it;
+    }
+    return false;
+}
+
+QueueManager::DispatchDecision QueueManager::Next(Time now) {
+    DispatchDecision decision;
+    if (total_queued_ == 0) return decision;  // kIdle
+
+    // Timeout fairness: if we have sat on the current model past the
+    // timeout and some other queue has work, rotate (§4.3).
+    const bool timed_out =
+        has_model_ && (now - current_since_) >= config_.queue_timeout &&
+        TotalQueued() > QueuedFor(current_model_);
+
+    auto current = queues_.find(current_model_);
+    const bool current_has_work = has_model_ && current != queues_.end() &&
+                                  !current->second.empty();
+
+    if (current_has_work && !timed_out) {
+        decision.kind = DispatchDecision::Kind::kDispatch;
+        decision.entry = current->second.front();
+        decision.model_id = current_model_;
+        current->second.pop_front();
+        --total_queued_;
+        ++counters_.dispatched;
+        return decision;
+    }
+
+    // Switch to the next non-empty queue -> Model Reload command.
+    std::uint32_t next_model = 0;
+    if (!PickNextModel(next_model)) return decision;  // kIdle
+    if (has_model_ && next_model == current_model_ && current_has_work) {
+        // Only this queue has work; timeout is moot, keep draining.
+        decision.kind = DispatchDecision::Kind::kDispatch;
+        decision.entry = current->second.front();
+        decision.model_id = current_model_;
+        current->second.pop_front();
+        --total_queued_;
+        ++counters_.dispatched;
+        current_since_ = now;
+        return decision;
+    }
+    if (timed_out) ++counters_.timeout_switches;
+    ++counters_.model_switches;
+    current_model_ = next_model;
+    has_model_ = true;
+    current_since_ = now;
+    decision.kind = DispatchDecision::Kind::kModelReload;
+    decision.model_id = next_model;
+    return decision;
+}
+
+std::size_t QueueManager::QueuedFor(std::uint32_t model_id) const {
+    const auto it = queues_.find(model_id);
+    return it == queues_.end() ? 0 : it->second.size();
+}
+
+}  // namespace catapult::rank

@@ -1,0 +1,135 @@
+#include "rank/scorer.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace catapult::rank {
+
+float DecisionTree::Evaluate(const FeatureStore& store) const {
+    if (nodes.empty()) return 0.0f;
+    std::int32_t index = 0;
+    while (true) {
+        const TreeNode& node = nodes[static_cast<std::size_t>(index)];
+        if (node.feature == TreeNode::kLeaf) return node.leaf_value;
+        const float value = store.Get(node.feature);
+        index = value <= node.threshold ? node.left : node.right;
+        assert(index >= 0 && index < static_cast<std::int32_t>(nodes.size()));
+    }
+}
+
+float ScorerShard::PartialScore(const FeatureStore& store) const {
+    // Pipeline-order accumulation: trees evaluate in array order so the
+    // float sum is deterministic and identical to software.
+    float sum = 0.0f;
+    for (const auto& tree : trees_) sum += tree.Evaluate(store);
+    return sum;
+}
+
+Time ScorerShard::ServiceTime() const {
+    const std::int64_t tree_cycles =
+        static_cast<std::int64_t>(
+            (trees_.size() + static_cast<std::size_t>(timing_.tree_units) - 1) /
+            static_cast<std::size_t>(timing_.tree_units)) *
+        timing_.cycles_per_tree;
+    return timing_.clock.Cycles(timing_.base_cycles + tree_cycles);
+}
+
+Bytes ScorerShard::ModelBytes() const {
+    // 8 bytes per node (feature id, threshold/leaf, child offsets packed).
+    return total_nodes() * 8;
+}
+
+std::int64_t ScorerShard::total_nodes() const {
+    std::int64_t nodes = 0;
+    for (const auto& tree : trees_) nodes += tree.NodeCount();
+    return nodes;
+}
+
+ScoringEnsemble::ScoringEnsemble(std::vector<DecisionTree> trees) {
+    // Contiguous shards preserve ensemble order across the 3 chips, so
+    // Score() sums in the same order as a single-machine evaluation.
+    const std::size_t per_shard = (trees.size() + kShardCount - 1) / kShardCount;
+    std::size_t index = 0;
+    for (int s = 0; s < kShardCount; ++s) {
+        std::vector<DecisionTree> shard_trees;
+        for (std::size_t k = 0; k < per_shard && index < trees.size();
+             ++k, ++index) {
+            shard_trees.push_back(std::move(trees[index]));
+        }
+        shards_[s] = ScorerShard(std::move(shard_trees));
+    }
+}
+
+float ScoringEnsemble::Score(const FeatureStore& store) const {
+    float score = 0.0f;
+    for (const auto& shard : shards_) score += shard.PartialScore(store);
+    return score;
+}
+
+int ScoringEnsemble::total_trees() const {
+    int total = 0;
+    for (const auto& shard : shards_) total += shard.tree_count();
+    return total;
+}
+
+namespace {
+
+std::int32_t BuildSubtree(std::vector<TreeNode>& nodes, Rng& rng, int depth,
+                          int max_depth,
+                          const std::vector<std::uint32_t>& operands) {
+    const auto index = static_cast<std::int32_t>(nodes.size());
+    nodes.emplace_back();
+    if (depth >= max_depth || rng.Chance(0.25)) {
+        nodes[static_cast<std::size_t>(index)].feature = TreeNode::kLeaf;
+        nodes[static_cast<std::size_t>(index)].leaf_value =
+            static_cast<float>(rng.Uniform(-0.5, 0.5));
+        return index;
+    }
+    nodes[static_cast<std::size_t>(index)].feature =
+        operands[rng.NextBounded(operands.size())];
+    nodes[static_cast<std::size_t>(index)].threshold =
+        static_cast<float>(rng.Uniform(0.0, 16.0));
+    const std::int32_t left =
+        BuildSubtree(nodes, rng, depth + 1, max_depth, operands);
+    const std::int32_t right =
+        BuildSubtree(nodes, rng, depth + 1, max_depth, operands);
+    nodes[static_cast<std::size_t>(index)].left = left;
+    nodes[static_cast<std::size_t>(index)].right = right;
+    return index;
+}
+
+}  // namespace
+
+ScoringEnsemble GenerateEnsemble(std::uint64_t seed, int tree_count,
+                                 int max_depth, int operand_budget) {
+    Rng rng(seed ^ 0x5C03E5C03E5C03E5ull);
+    // Per-model feature selection: draw the operand window first, with
+    // the paper's emphasis on dynamic features and FFE outputs.
+    std::vector<std::uint32_t> operands;
+    operands.reserve(static_cast<std::size_t>(operand_budget));
+    for (int i = 0; i < operand_budget; ++i) {
+        const double kind = rng.NextDouble();
+        if (kind < 0.55) {
+            operands.push_back(static_cast<std::uint32_t>(
+                rng.NextBounded(kDynamicFeatureCount)));
+        } else if (kind < 0.90) {
+            operands.push_back(
+                kFfeOutputBase +
+                static_cast<std::uint32_t>(rng.NextBounded(kFfeOutputSlots)));
+        } else {
+            operands.push_back(kSoftwareFeatureBase +
+                               static_cast<std::uint32_t>(
+                                   rng.NextBounded(kSoftwareFeatureSlots)));
+        }
+    }
+    std::vector<DecisionTree> trees;
+    trees.reserve(static_cast<std::size_t>(tree_count));
+    for (int t = 0; t < tree_count; ++t) {
+        DecisionTree tree;
+        BuildSubtree(tree.nodes, rng, 0, max_depth, operands);
+        trees.push_back(std::move(tree));
+    }
+    return ScoringEnsemble(std::move(trees));
+}
+
+}  // namespace catapult::rank

@@ -1,0 +1,111 @@
+// Document scoring (§4.6): the machine-learned model evaluator.
+//
+// "The last stage of the pipeline is a machine learned model evaluator
+// which takes the features and free form expressions as inputs and
+// produces a single floating-point score." Bing-era rankers were
+// boosted-tree ensembles; the evaluator here is an additive ensemble of
+// depth-limited binary decision trees over the feature store, split
+// across the three scoring FPGAs (Table 1: Scr0-2) which each evaluate
+// a shard of the trees and accumulate partial sums down the pipeline.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "rank/feature_space.h"
+
+namespace catapult::rank {
+
+/** One node of a decision tree (leaf when feature == kLeaf). */
+struct TreeNode {
+    static constexpr std::uint32_t kLeaf = 0xFFFFFFFFu;
+    std::uint32_t feature = kLeaf;
+    float threshold = 0.0f;  ///< go left when value <= threshold
+    float leaf_value = 0.0f;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+};
+
+/** A single regression tree stored as a node array. */
+struct DecisionTree {
+    std::vector<TreeNode> nodes;
+
+    float Evaluate(const FeatureStore& store) const;
+    int NodeCount() const { return static_cast<int>(nodes.size()); }
+};
+
+/** One scoring stage's shard of the ensemble. */
+class ScorerShard {
+  public:
+    struct Timing {
+        Frequency clock = Frequency::MHz(166.0);  ///< Table 1 (Scr0-2).
+        /** Parallel tree-evaluation pipelines per chip. */
+        int tree_units = 8;
+        /** Cycles per tree per unit (pipelined traversal). */
+        int cycles_per_tree = 2;
+        /** Fixed cycles: partial-sum accumulate, forwarding. */
+        std::int64_t base_cycles = 120;
+    };
+
+    ScorerShard() = default;
+    explicit ScorerShard(std::vector<DecisionTree> trees)
+        : trees_(std::move(trees)) {}
+
+    /** Partial score: sum of this shard's tree outputs. */
+    float PartialScore(const FeatureStore& store) const;
+
+    /** Stage service time for one document. */
+    Time ServiceTime() const;
+
+    /** Model memory footprint (drives Model Reload cost, §4.3). */
+    Bytes ModelBytes() const;
+
+    int tree_count() const { return static_cast<int>(trees_.size()); }
+    std::int64_t total_nodes() const;
+    const std::vector<DecisionTree>& trees() const { return trees_; }
+    Timing& timing() { return timing_; }
+    const Timing& timing() const { return timing_; }
+
+  private:
+    std::vector<DecisionTree> trees_;
+    Timing timing_;
+};
+
+/**
+ * The full ensemble: shards for the three scoring FPGAs. The final
+ * score is the sum of all shard partials (bit-identical regardless of
+ * shard boundaries because partial sums accumulate in pipeline order).
+ */
+class ScoringEnsemble {
+  public:
+    static constexpr int kShardCount = 3;
+
+    ScoringEnsemble() = default;
+    explicit ScoringEnsemble(std::vector<DecisionTree> trees);
+
+    /** Full score: evaluate all shards in pipeline order. */
+    float Score(const FeatureStore& store) const;
+
+    const ScorerShard& shard(int i) const { return shards_[i]; }
+    ScorerShard& shard(int i) { return shards_[i]; }
+    int total_trees() const;
+
+  private:
+    ScorerShard shards_[kShardCount];
+};
+
+/**
+ * Synthesize a random ensemble for a model seed. Trees draw their split
+ * features from a per-model operand window of `operand_budget` distinct
+ * feature slots (models use feature subsets; this is what keeps the
+ * compression stage's output — the operand set — small enough to stream
+ * between the scoring chips within the macropipeline budget).
+ */
+ScoringEnsemble GenerateEnsemble(std::uint64_t seed, int tree_count,
+                                 int max_depth = 6,
+                                 int operand_budget = 4'000);
+
+}  // namespace catapult::rank

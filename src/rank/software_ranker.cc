@@ -1,0 +1,114 @@
+#include "rank/software_ranker.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace catapult::rank {
+
+RankingFunction::RankingFunction(const Model* model) : model_(model) {
+    assert(model_ != nullptr);
+    ffe0_.LoadPrograms(model_->ffe0_programs());
+    ffe1_.LoadPrograms(model_->ffe1_programs());
+}
+
+void RankingFunction::ExtractFeatures(const CompressedRequest& request,
+                                      FeatureStore& store) {
+    store.Clear();
+    extractor_.Extract(request, store);
+}
+
+float RankingFunction::Score(const CompressedRequest& request) {
+    ExtractFeatures(request, scratch_);
+    RunFfe0(scratch_);
+    RunFfe1(scratch_);
+    compressed_.Clear();
+    Compress(scratch_, compressed_);
+    return FinalScore(compressed_);
+}
+
+float RankingFunction::ReferenceScore(const CompressedRequest& request) {
+    ExtractFeatures(request, scratch_);
+    // Direct AST evaluation of the unsplit expressions, writing the
+    // same FFE output slots the compiled path writes.
+    const auto& expressions = model_->expressions();
+    for (std::size_t i = 0; i < expressions.size(); ++i) {
+        const std::uint32_t slot =
+            kFfeOutputBase + static_cast<std::uint32_t>(i) % kFfeOutputSlots;
+        scratch_.Set(slot, expressions[i]->Evaluate(scratch_));
+    }
+    compressed_.Clear();
+    Compress(scratch_, compressed_);
+    return FinalScore(compressed_);
+}
+
+CpuPool::CpuPool(sim::Simulator* simulator, Rng rng, Config config)
+    : simulator_(simulator), rng_(rng), config_(config) {
+    assert(simulator_ != nullptr);
+    assert(config_.cores > 0);
+}
+
+void CpuPool::Submit(Time service, std::function<void()> on_done) {
+    queue_.push_back(Job{service, std::move(on_done)});
+    TryDispatch();
+}
+
+void CpuPool::TryDispatch() {
+    while (busy_ < config_.cores && !queue_.empty()) {
+        Job job = std::move(queue_.front());
+        queue_.pop_front();
+        ++busy_;
+        // Contention in the memory hierarchy: service inflates with the
+        // occupancy at dispatch time, plus heavy-ish lognormal noise.
+        const double u = static_cast<double>(busy_) / config_.cores;
+        const double contention = 1.0 + config_.contention_alpha * u * u;
+        const double noise =
+            std::exp(config_.noise_sigma * rng_.Normal() -
+                     config_.noise_sigma * config_.noise_sigma / 2.0);
+        const Time effective = static_cast<Time>(
+            static_cast<double>(job.service) * contention * noise);
+        simulator_->ScheduleAfter(effective,
+                                  [this, cb = std::move(job.on_done)] {
+                                      --busy_;
+                                      cb();
+                                      TryDispatch();
+                                  });
+    }
+}
+
+Time SoftwareCostModel::FullServiceTime(const CompressedRequest& request,
+                                        const Model& model) const {
+    // A tree evaluation visits ~depth nodes; estimate the average depth
+    // from the node count (nodes ~= 2^(depth+1) for near-full trees).
+    const double trees = std::max(1, model.ensemble().total_trees());
+    const double nodes_per_tree =
+        static_cast<double>(model.total_tree_nodes()) / trees;
+    const double avg_depth = std::max(1.0, std::log2(nodes_per_tree + 1.0) - 1.0);
+    const double tree_cycles = cycles_per_tree_level * trees * avg_depth;
+    const double cycles =
+        base_cycles + cycles_per_tuple * request.tuple_count +
+        cycles_per_ffe_op * static_cast<double>(model.total_ffe_ops()) +
+        tree_cycles;
+    return static_cast<Time>(cycles / cpu_clock.hertz() * 1e12);
+}
+
+Time SoftwareCostModel::PrepServiceTime(const CompressedRequest& request) const {
+    const double cycles =
+        prep_base_cycles + prep_cycles_per_tuple * request.tuple_count;
+    return static_cast<Time>(cycles / cpu_clock.hertz() * 1e12);
+}
+
+SoftwareRankServer::SoftwareRankServer(sim::Simulator* simulator, Rng rng,
+                                       Config config)
+    : simulator_(simulator), config_(config), cpu_(simulator, rng, config.cpu) {}
+
+void SoftwareRankServer::Submit(const CompressedRequest& request,
+                                const Model& model,
+                                std::function<void(Time)> on_done) {
+    const Time submitted = simulator_->Now();
+    const Time service = config_.cost.FullServiceTime(request, model);
+    cpu_.Submit(service, [this, submitted, on_done = std::move(on_done)] {
+        on_done(simulator_->Now() - submitted);
+    });
+}
+
+}  // namespace catapult::rank

@@ -1,0 +1,220 @@
+#include "service/load_generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+
+namespace catapult::service {
+
+ClosedLoopInjector::ClosedLoopInjector(RankingService* service, Config config)
+    : service_(service),
+      config_(std::move(config)),
+      generator_(config_.corpus_seed, config_.corpus) {
+    assert(service_ != nullptr);
+}
+
+LoadResult ClosedLoopInjector::Run() {
+    result_ = LoadResult{};
+    started_ = service_->simulator()->Now();
+    last_completion_ = started_;
+    for (const int ring_index : config_.injecting_ring_indices) {
+        // Partition the 64 DMA slots for this experiment's threads.
+        service_->host(ring_index)->driver().AssignThreads(
+            std::max(1, config_.threads_per_node));
+        for (int thread = 0; thread < config_.threads_per_node; ++thread) {
+            StartThread(ring_index, thread);
+        }
+    }
+    service_->simulator()->Run();
+    result_.elapsed = last_completion_ - started_;
+    return result_;
+}
+
+void ClosedLoopInjector::StartThread(int ring_index, int thread) {
+    SendNext(ring_index, thread, config_.documents_per_thread);
+}
+
+void ClosedLoopInjector::SendNext(int ring_index, int thread, int remaining) {
+    if (remaining <= 0) return;
+    rank::CompressedRequest request = generator_.Next();
+    if (config_.single_model) request.query.model_id = 0;
+    const auto status = service_->Inject(
+        ring_index, thread, request,
+        [this, ring_index, thread, remaining](const ScoreResult& result) {
+            if (result.ok) {
+                ++result_.completed;
+                result_.latency_us.Add(ToMicroseconds(result.latency));
+            } else {
+                ++result_.timeouts;
+            }
+            last_completion_ = service_->simulator()->Now();
+            SendNext(ring_index, thread, remaining - 1);
+        });
+    if (status != host::SendStatus::kOk) {
+        // Slot contention between logical threads sharing a slot is a
+        // configuration error in closed-loop mode.
+        LOG_WARN("loadgen") << "closed-loop send failed: "
+                            << host::ToString(status);
+    }
+}
+
+OpenLoopInjector::OpenLoopInjector(RankingService* service, Rng rng,
+                                   Config config)
+    : service_(service),
+      rng_(rng),
+      config_(std::move(config)),
+      generator_(config_.corpus_seed, config_.corpus) {
+    assert(service_ != nullptr);
+}
+
+LoadResult OpenLoopInjector::Run() {
+    result_ = LoadResult{};
+    nodes_.clear();
+    nodes_.resize(config_.injecting_ring_indices.size());
+    auto* sim = service_->simulator();
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        NodeState& node = nodes_[i];
+        node.slot_busy.assign(
+            static_cast<std::size_t>(config_.threads_per_node), false);
+        node.cpu = std::make_unique<rank::CpuPool>(sim, rng_.Fork(),
+                                                   config_.cpu);
+        service_->host(config_.injecting_ring_indices[i])
+            ->driver()
+            .AssignThreads(std::max(1, config_.threads_per_node));
+    }
+    const Time start = sim->Now();
+    deadline_ = start + config_.duration;
+    for (std::size_t i = 0; i < config_.injecting_ring_indices.size(); ++i) {
+        ScheduleArrival(static_cast<int>(i));
+    }
+    sim->Run();
+    result_.elapsed = config_.duration;
+    return result_;
+}
+
+void OpenLoopInjector::ScheduleArrival(int node_index) {
+    auto* sim = service_->simulator();
+    if (config_.rate_per_server <= 0.0) return;
+    const double gap_s = rng_.Exponential(1.0 / config_.rate_per_server);
+    const Time when = sim->Now() + static_cast<Time>(gap_s * 1e12);
+    if (when >= deadline_) return;  // injection window closed
+    sim->ScheduleAt(when, [this, node_index] {
+        PendingDoc doc;
+        doc.request = generator_.Next();
+        doc.arrived = service_->simulator()->Now();
+        if (config_.single_model) doc.request.query.model_id = 0;
+        nodes_[static_cast<std::size_t>(node_index)].backlog.push_back(
+            std::move(doc));
+        TryDispatch(node_index);
+        ScheduleArrival(node_index);
+    });
+}
+
+void OpenLoopInjector::TryDispatch(int node_index) {
+    NodeState& node = nodes_[static_cast<std::size_t>(node_index)];
+    if (node.backlog.empty()) return;
+    // Find a free thread slot (§3.1: threads own slots exclusively).
+    int thread = -1;
+    for (std::size_t t = 0; t < node.slot_busy.size(); ++t) {
+        if (!node.slot_busy[t]) {
+            thread = static_cast<int>(t);
+            break;
+        }
+    }
+    if (thread < 0) return;  // all slots outstanding; stay in backlog
+
+    PendingDoc doc = std::move(node.backlog.front());
+    node.backlog.pop_front();
+    node.slot_busy[static_cast<std::size_t>(thread)] = true;
+
+    if (config_.host_preprocessing) {
+        // The software portion of ranking runs first (§4), then the
+        // encoded document is injected into the local FPGA.
+        const Time prep = config_.cost.PrepServiceTime(doc.request);
+        auto* cpu = node.cpu.get();
+        cpu->Submit(prep, [this, node_index, doc = std::move(doc),
+                           thread]() mutable {
+            InjectPrepared(node_index, std::move(doc), thread);
+        });
+        return;
+    }
+    InjectPrepared(node_index, std::move(doc), thread);
+}
+
+void OpenLoopInjector::InjectPrepared(int node_index, PendingDoc doc,
+                                      int thread) {
+    const int ring_index =
+        config_.injecting_ring_indices[static_cast<std::size_t>(node_index)];
+    const Time arrived = doc.arrived;
+    const auto status = service_->Inject(
+        ring_index, thread, doc.request,
+        [this, node_index, thread, arrived](const ScoreResult& result) {
+            NodeState& n = nodes_[static_cast<std::size_t>(node_index)];
+            n.slot_busy[static_cast<std::size_t>(thread)] = false;
+            if (result.ok) {
+                // Steady-state accounting: completions after the
+                // injection window closes are backlog drain, not
+                // sustained throughput.
+                if (service_->simulator()->Now() <= deadline_) {
+                    ++result_.completed;
+                }
+                // End-to-end: arrival (backlog) through prep, fabric and
+                // response delivery.
+                result_.latency_us.Add(
+                    ToMicroseconds(service_->simulator()->Now() - arrived));
+            } else {
+                ++result_.timeouts;
+            }
+            TryDispatch(node_index);
+        });
+    if (status != host::SendStatus::kOk) {
+        NodeState& n = nodes_[static_cast<std::size_t>(node_index)];
+        n.slot_busy[static_cast<std::size_t>(thread)] = false;
+        ++result_.timeouts;
+        TryDispatch(node_index);
+    }
+}
+
+SoftwareLoadRunner::SoftwareLoadRunner(sim::Simulator* simulator,
+                                       const rank::Model* model, Rng rng,
+                                       Config config)
+    : simulator_(simulator),
+      model_(model),
+      rng_(rng),
+      config_(std::move(config)),
+      generator_(config_.corpus_seed, config_.corpus) {
+    assert(simulator_ != nullptr && model_ != nullptr);
+    for (int s = 0; s < config_.servers; ++s) {
+        servers_.push_back(std::make_unique<rank::SoftwareRankServer>(
+            simulator_, rng_.Fork(), config_.server));
+    }
+}
+
+LoadResult SoftwareLoadRunner::Run() {
+    result_ = LoadResult{};
+    const Time start = simulator_->Now();
+    deadline_ = start + config_.duration;
+    for (int s = 0; s < config_.servers; ++s) ScheduleArrival(s);
+    simulator_->Run();
+    result_.elapsed = config_.duration;
+    return result_;
+}
+
+void SoftwareLoadRunner::ScheduleArrival(int server) {
+    if (config_.rate_per_server <= 0.0) return;
+    const double gap_s = rng_.Exponential(1.0 / config_.rate_per_server);
+    const Time when = simulator_->Now() + static_cast<Time>(gap_s * 1e12);
+    if (when >= deadline_) return;
+    simulator_->ScheduleAt(when, [this, server] {
+        const rank::CompressedRequest request = generator_.Next();
+        servers_[static_cast<std::size_t>(server)]->Submit(
+            request, *model_, [this](Time latency) {
+                if (simulator_->Now() <= deadline_) ++result_.completed;
+                result_.latency_us.Add(ToMicroseconds(latency));
+            });
+        ScheduleArrival(server);
+    });
+}
+
+}  // namespace catapult::service

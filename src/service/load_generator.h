@@ -1,0 +1,162 @@
+// Load generation for the ring- and system-level experiments (§5).
+//
+// Two injection disciplines drive the evaluation figures:
+//  * closed-loop: N CPU threads per node, each keeping exactly one
+//    document outstanding (Figures 8-13 sweep thread and node counts);
+//  * open-loop: Poisson arrivals at a configured rate per server,
+//    documents queue host-side for free slots (Figures 14-15 sweep
+//    normalized injection rates against the software baseline).
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "rank/document.h"
+#include "rank/document_generator.h"
+#include "rank/software_ranker.h"
+#include "service/ranking_service.h"
+#include "sim/simulator.h"
+
+namespace catapult::service {
+
+/** Latency/throughput measurements from one run. */
+struct LoadResult {
+    SampleStat latency_us;
+    std::uint64_t completed = 0;
+    std::uint64_t timeouts = 0;
+    Time elapsed = 0;
+
+    double ThroughputPerSecond() const {
+        const double s = ToSeconds(elapsed);
+        return s > 0 ? static_cast<double>(completed) / s : 0.0;
+    }
+};
+
+/**
+ * Closed-loop injector: `threads` per injecting node, each thread owns
+ * one slot and keeps one document outstanding.
+ */
+class ClosedLoopInjector {
+  public:
+    struct Config {
+        std::vector<int> injecting_ring_indices = {0};
+        int threads_per_node = 1;
+        int documents_per_thread = 200;
+        std::uint64_t corpus_seed = 42;
+        rank::DocumentGenerator::Config corpus;
+        /** Force every document to one model (no reload churn). */
+        bool single_model = true;
+    };
+
+    ClosedLoopInjector(RankingService* service, Config config);
+
+    /** Run to completion; returns the measurements. */
+    LoadResult Run();
+
+  private:
+    void StartThread(int ring_index, int thread);
+    void SendNext(int ring_index, int thread, int remaining);
+
+    RankingService* service_;
+    Config config_;
+    rank::DocumentGenerator generator_;
+    LoadResult result_;
+    int outstanding_ = 0;
+    Time started_ = 0;
+    Time last_completion_ = 0;
+};
+
+/**
+ * Open-loop injector: Poisson arrivals per injecting server. Arrivals
+ * beyond the available slots queue host-side (the production software
+ * stack in front of the driver).
+ */
+class OpenLoopInjector {
+  public:
+    struct Config {
+        std::vector<int> injecting_ring_indices = {0, 1, 2, 3, 4, 5, 6, 7};
+        /** Mean arrivals per second per injecting server. */
+        double rate_per_server = 5'000.0;
+        Time duration = Milliseconds(200);
+        int threads_per_node = 32;
+        std::uint64_t corpus_seed = 42;
+        rank::DocumentGenerator::Config corpus;
+        bool single_model = true;
+        /**
+         * Model the software portion that stays on the host CPU (§4:
+         * SSD lookup, hit-vector computation, software features).
+         */
+        bool host_preprocessing = true;
+        rank::CpuPool::Config cpu;
+        rank::SoftwareCostModel cost;
+    };
+
+    OpenLoopInjector(RankingService* service, Rng rng, Config config);
+
+    LoadResult Run();
+
+  private:
+    struct PendingDoc {
+        rank::CompressedRequest request;
+        Time arrived = 0;
+    };
+
+    struct NodeState {
+        std::deque<PendingDoc> backlog;
+        std::vector<bool> slot_busy;
+        std::unique_ptr<rank::CpuPool> cpu;
+    };
+
+    void ScheduleArrival(int ring_index);
+    void TryDispatch(int ring_index);
+    void InjectPrepared(int node_index, PendingDoc doc, int thread);
+
+    RankingService* service_;
+    Rng rng_;
+    Config config_;
+    rank::DocumentGenerator generator_;
+    std::vector<NodeState> nodes_;
+    LoadResult result_;
+    Time deadline_ = 0;
+};
+
+/**
+ * The software-only fleet driven at the same injection rates: one
+ * SoftwareRankServer per injecting node (Figures 14-15 baseline).
+ */
+class SoftwareLoadRunner {
+  public:
+    struct Config {
+        int servers = 8;
+        double rate_per_server = 5'000.0;
+        Time duration = Milliseconds(200);
+        std::uint64_t corpus_seed = 42;
+        rank::DocumentGenerator::Config corpus;
+        rank::SoftwareRankServer::Config server;
+    };
+
+    SoftwareLoadRunner(sim::Simulator* simulator, const rank::Model* model,
+                       Rng rng, Config config);
+
+    LoadResult Run();
+
+  private:
+    void ScheduleArrival(int server);
+
+    sim::Simulator* simulator_;
+    const rank::Model* model_;
+    Rng rng_;
+    Config config_;
+    rank::DocumentGenerator generator_;
+    std::vector<std::unique_ptr<rank::SoftwareRankServer>> servers_;
+    LoadResult result_;
+    Time deadline_ = 0;
+};
+
+}  // namespace catapult::service

@@ -1,0 +1,293 @@
+#include "service/ranking_service.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/log.h"
+#include "service/stage_role.h"
+
+namespace catapult::service {
+
+using rank::PipelineStage;
+
+namespace {
+
+/** Table 1: FPGA area usage and clock frequencies per ranking stage. */
+struct StageSynthesis {
+    fpga::Utilization area;
+    double clock_mhz;
+};
+
+StageSynthesis Table1(PipelineStage stage) {
+    switch (stage) {
+      case PipelineStage::kFeatureExtraction: return {{74, 49, 12}, 150};
+      case PipelineStage::kFfe0: return {{86, 50, 29}, 125};
+      case PipelineStage::kFfe1: return {{86, 50, 29}, 125};
+      case PipelineStage::kCompression: return {{20, 64, 0}, 180};
+      case PipelineStage::kScoring0: return {{47, 88, 0}, 166};
+      case PipelineStage::kScoring1: return {{47, 88, 0}, 166};
+      case PipelineStage::kScoring2: return {{48, 90, 1}, 166};
+      case PipelineStage::kSpare: return {{10, 15, 0}, 175};
+    }
+    return {{0, 0, 0}, 0};
+}
+
+}  // namespace
+
+fpga::Bitstream StageBitstream(PipelineStage stage) {
+    const StageSynthesis synth = Table1(stage);
+    return fpga::MakeBitstream(
+        0xB175000 + static_cast<std::uint64_t>(stage),
+        std::string("rank.") + ToString(stage), synth.area,
+        Frequency::MHz(synth.clock_mhz));
+}
+
+RankingService::RankingService(sim::Simulator* simulator,
+                               fabric::CatapultFabric* fabric,
+                               std::vector<host::HostServer*> hosts,
+                               mgmt::MappingManager* mapping_manager,
+                               Config config)
+    : simulator_(simulator),
+      fabric_(fabric),
+      hosts_(std::move(hosts)),
+      mapping_manager_(mapping_manager),
+      config_(config),
+      models_(config.models),
+      queue_manager_(config.queue_manager),
+      trace_archive_(config.trace_archive_capacity) {
+    assert(simulator_ != nullptr && fabric_ != nullptr);
+    assert(mapping_manager_ != nullptr);
+
+    const auto& topology = fabric_->topology();
+    const int start = topology.IndexOf(
+        fabric::TorusCoord{config_.ring_row, config_.head_col});
+    const auto ring = topology.RingAlongRow(start, kRingLength);
+    for (int i = 0; i < kRingLength; ++i) {
+        ring_nodes_[static_cast<std::size_t>(i)] = ring[static_cast<std::size_t>(i)];
+        stage_at_[static_cast<std::size_t>(i)] = static_cast<PipelineStage>(i);
+    }
+    BuildRoles();
+}
+
+RankingService::~RankingService() {
+    for (const auto& role : roles_) {
+        fabric_->shell(ring_nodes_[static_cast<std::size_t>(role->ring_index())])
+            .SetRole(nullptr);
+    }
+}
+
+void RankingService::BuildRoles() {
+    for (const auto& role : roles_) {
+        fabric_->shell(ring_nodes_[static_cast<std::size_t>(role->ring_index())])
+            .SetRole(nullptr);
+    }
+    roles_.clear();
+    for (int i = 0; i < kRingLength; ++i) {
+        shell::Shell& shell =
+            fabric_->shell(ring_nodes_[static_cast<std::size_t>(i)]);
+        roles_.push_back(std::make_unique<StageRole>(
+            this, simulator_, &shell, stage_at_[static_cast<std::size_t>(i)], i));
+        shell.SetRole(roles_.back().get());
+    }
+}
+
+void RankingService::Deploy(std::function<void(bool)> on_done) {
+    mgmt::ServiceSpec spec;
+    spec.service_name = "bing.ranking";
+    for (int i = 0; i < kRingLength; ++i) {
+        mgmt::RoleAssignment assignment;
+        assignment.role_name =
+            std::string("rank.") + ToString(stage_at_[static_cast<std::size_t>(i)]);
+        assignment.image = StageBitstream(stage_at_[static_cast<std::size_t>(i)]);
+        assignment.node = ring_nodes_[static_cast<std::size_t>(i)];
+        spec.roles.push_back(std::move(assignment));
+    }
+    // Warm the default model so reload times are defined at first use.
+    DefaultModel();
+    mapping_manager_->Deploy(spec, std::move(on_done));
+}
+
+const rank::Model& RankingService::DefaultModel() {
+    return models_.GetOrGenerate(0, config_.model_seed);
+}
+
+rank::QueueManager& RankingService::queue_manager() { return queue_manager_; }
+
+DocContext* RankingService::FindContext(std::uint64_t trace_id) {
+    const auto it = in_flight_.find(trace_id);
+    return it == in_flight_.end() ? nullptr : &it->second;
+}
+
+rank::RankingFunction& RankingService::FunctionFor(std::uint32_t model_id) {
+    auto it = functions_.find(model_id);
+    if (it == functions_.end()) {
+        const rank::Model& model =
+            models_.GetOrGenerate(model_id, config_.model_seed);
+        it = functions_
+                 .emplace(model_id,
+                          std::make_unique<rank::RankingFunction>(&model))
+                 .first;
+    }
+    return *it->second;
+}
+
+int RankingService::RingIndexOf(PipelineStage stage) const {
+    for (int i = 0; i < kRingLength; ++i) {
+        if (stage_at_[static_cast<std::size_t>(i)] == stage) return i;
+    }
+    return -1;
+}
+
+Time RankingService::StageServiceTime(PipelineStage stage,
+                                      const rank::CompressedRequest& request,
+                                      std::uint32_t model_id) {
+    const rank::Model& model =
+        models_.GetOrGenerate(model_id, config_.model_seed);
+    return StageServiceTimeFor(stage, request, model, FunctionFor(model_id),
+                               config_.fe_timing);
+}
+
+Bytes RankingService::StageOutputBytes(PipelineStage stage,
+                                       std::uint32_t model_id) {
+    const rank::Model& model =
+        models_.GetOrGenerate(model_id, config_.model_seed);
+    switch (stage) {
+      case PipelineStage::kFeatureExtraction:
+        // Non-zero dynamic features + software features, ~6 B apiece
+        // (id + value); a fraction of the 4,484-feature space fires.
+        return 6 * 1'024;
+      case PipelineStage::kFfe0:
+      case PipelineStage::kFfe1:
+        // Features plus computed FFE outputs/metafeatures.
+        return 8 * 1'024;
+      case PipelineStage::kCompression:
+      case PipelineStage::kScoring0:
+      case PipelineStage::kScoring1:
+        // The compressed operand set the scoring engines consume.
+        return model.compression().CompressedPayloadBytes();
+      default:
+        return 64;
+    }
+}
+
+host::SendStatus RankingService::Inject(
+    int ring_index, int thread, const rank::CompressedRequest& request,
+    std::function<void(const ScoreResult&)> on_complete) {
+    host::HostServer* server = host(ring_index);
+    const int slot = server->driver().SlotFor(thread);
+    return InjectOnSlot(ring_index, slot, request, std::move(on_complete));
+}
+
+host::SendStatus RankingService::InjectOnSlot(
+    int ring_index, int slot, const rank::CompressedRequest& request,
+    std::function<void(const ScoreResult&)> on_complete) {
+    host::HostServer* server = host(ring_index);
+    if (!server->responsive()) return host::SendStatus::kTimeout;
+
+    const std::uint64_t trace_id = next_trace_id_++;
+    DocContext ctx;
+    ctx.request = request;
+    ctx.injector = fabric_->GlobalId(RingNode(ring_index));
+    ctx.slot = slot;
+    ctx.injected_at = simulator_->Now();
+    ctx.on_complete = std::move(on_complete);
+    if (config_.compute_scores) {
+        ctx.store = std::make_unique<rank::FeatureStore>();
+    }
+
+    auto packet = shell::MakePacket(
+        shell::PacketType::kScoringRequest, ctx.injector,
+        fabric_->GlobalId(RingNode(RingIndexOf(PipelineStage::kFeatureExtraction))),
+        request.wire_bytes > 0 ? request.wire_bytes : request.EncodedSize(),
+        trace_id);
+
+    if (server->driver().SlotBusy(slot)) {
+        in_flight_.erase(trace_id);
+        return host::SendStatus::kSlotBusy;
+    }
+    in_flight_.emplace(trace_id, std::move(ctx));
+    ++counters_.injected;
+
+    // The injecting thread first runs the document-conversion software
+    // (§4) before filling its slot.
+    simulator_->ScheduleAfter(
+        config_.injection_overhead,
+        [this, server, slot, trace_id, packet = std::move(packet)]() mutable {
+            const auto status = server->driver().Send(
+                slot, std::move(packet),
+                [this, trace_id](host::SendStatus send_status,
+                                 shell::PacketPtr response) {
+                    if (send_status == host::SendStatus::kOk) {
+                        OnResponse(trace_id, true, 0.0f, std::move(response));
+                    } else {
+                        CompleteTimeout(trace_id);
+                    }
+                });
+            if (status != host::SendStatus::kOk) CompleteTimeout(trace_id);
+        });
+    return host::SendStatus::kOk;
+}
+
+void RankingService::OnResponse(std::uint64_t trace_id, bool ok, float score,
+                                shell::PacketPtr packet) {
+    (void)score;
+    (void)packet;
+    const auto it = in_flight_.find(trace_id);
+    if (it == in_flight_.end()) return;
+    DocContext& ctx = it->second;
+    ScoreResult result;
+    result.ok = ok;
+    result.trace_id = trace_id;
+    result.score = ctx.final_score;
+    result.latency = simulator_->Now() - ctx.injected_at;
+    ++counters_.completed;
+    if (config_.archive_traces) {
+        ArchivedTrace trace;
+        trace.request = ctx.request;
+        trace.score = ctx.final_score;
+        trace.scored = ctx.store != nullptr;
+        trace_archive_.Record(trace_id, std::move(trace));
+    }
+    auto cb = std::move(ctx.on_complete);
+    in_flight_.erase(it);
+    if (cb) cb(result);
+}
+
+void RankingService::CompleteTimeout(std::uint64_t trace_id) {
+    const auto it = in_flight_.find(trace_id);
+    if (it == in_flight_.end()) return;
+    ScoreResult result;
+    result.ok = false;
+    result.trace_id = trace_id;
+    result.latency = simulator_->Now() - it->second.injected_at;
+    ++counters_.timeouts;
+    auto cb = std::move(it->second.on_complete);
+    in_flight_.erase(it);
+    if (cb) cb(result);
+}
+
+void RankingService::RotateRingAround(int failed_ring_index,
+                                      std::function<void(bool)> on_done) {
+    // §4.2: "The eighth FPGA is a spare which allows the Service Manager
+    // to rotate the ring upon a machine failure and keep the ranking
+    // pipeline alive." The spare absorbs the failed position's stage;
+    // the failed node becomes the (dead) spare.
+    const int spare_index = RingIndexOf(PipelineStage::kSpare);
+    if (spare_index < 0 || failed_ring_index == spare_index) {
+        on_done(false);
+        return;
+    }
+    std::swap(stage_at_[static_cast<std::size_t>(failed_ring_index)],
+              stage_at_[static_cast<std::size_t>(spare_index)]);
+    LOG_INFO("service_manager")
+        << "ring rotated: stage "
+        << ToString(stage_at_[static_cast<std::size_t>(spare_index)])
+        << " moved from ring position " << failed_ring_index << " to "
+        << spare_index;
+    BuildRoles();
+    Deploy(std::move(on_done));
+}
+
+void RankingService::BumpModelReloads() { ++counters_.model_reloads; }
+
+}  // namespace catapult::service

@@ -1,0 +1,216 @@
+// The accelerated ranking service (§4, §4.2).
+//
+// The ranking engine is partitioned across seven FPGAs plus one spare,
+// mapped onto a ring of eight FPGAs along one dimension of the torus
+// (Figure 5): Queue Manager + Feature Extraction at the head, two FFE
+// stages, a compression stage, and three machine-learned scoring
+// stages. Any of the eight servers can inject documents; requests route
+// over the inter-FPGA network to the head, pass down the macropipeline
+// stage by stage, and the final score (a 4-byte float plus counters)
+// routes back to the injecting server (§4.1).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "fabric/catapult_fabric.h"
+#include "host/host_server.h"
+#include "mgmt/mapping_manager.h"
+#include "rank/document.h"
+#include "rank/model.h"
+#include "rank/queue_manager.h"
+#include "rank/software_ranker.h"
+#include "service/trace_replay.h"
+#include "shell/shell.h"
+#include "sim/simulator.h"
+
+namespace catapult::service {
+
+class StageRole;
+
+/** Bitstream descriptor for a ranking stage, with Table 1 area/clock. */
+fpga::Bitstream StageBitstream(rank::PipelineStage stage);
+
+/** Completion record for one scored document. */
+struct ScoreResult {
+    bool ok = false;
+    float score = 0.0f;
+    Time latency = 0;          ///< Injection to response at user level.
+    std::uint64_t trace_id = 0;
+};
+
+/**
+ * Per-document in-flight context shared by the stage roles. The fabric
+ * carries packets; heavyweight state (the request, the feature store
+ * when functional scoring is on) lives here, keyed by trace id — the
+ * same id the Flight Data Recorder logs, so an FDR trace can be
+ * replayed against this table in a test environment (§3.6).
+ */
+struct DocContext {
+    rank::CompressedRequest request;
+    shell::NodeId injector = shell::kInvalidNode;
+    int slot = -1;
+    Time injected_at = 0;
+    std::unique_ptr<rank::FeatureStore> store;  ///< null when timing-only
+    float final_score = 0.0f;
+    std::function<void(const ScoreResult&)> on_complete;
+};
+
+class RankingService {
+  public:
+    static constexpr int kRingLength = 8;
+
+    struct Config {
+        /** Torus row hosting the ring (stages at columns 0..7). */
+        int ring_row = 0;
+        /** Column of the head (FE) node within the row. */
+        int head_col = 0;
+        /** Run the full functional pipeline (bit-exact scores). */
+        bool compute_scores = false;
+        std::uint64_t model_seed = 0xCA7A9017ull;
+        rank::ModelStore::Config models;
+        rank::QueueManager::Config queue_manager;
+        /** FE timing (the pipeline bottleneck, §5). */
+        rank::FeatureExtractor::Timing fe_timing;
+        /** Host request timeout feeding failure handling (§3.2). */
+        Time request_timeout = Milliseconds(8);
+        /**
+         * Per-document software cost paid by the injecting thread
+         * before the slot fills (§4: "performs the software portion of
+         * the scoring, converts the document into a format suitable for
+         * FPGA evaluation, and then injects the document").
+         */
+        Time injection_overhead = Microseconds(12);
+        /**
+         * Archive every (trace id, document, score) for offline FDR
+         * trace replay (§3.6). Off by default: production keeps a
+         * bounded archive on the serving host.
+         */
+        bool archive_traces = false;
+        std::size_t trace_archive_capacity = 65'536;
+    };
+
+    RankingService(sim::Simulator* simulator, fabric::CatapultFabric* fabric,
+                   std::vector<host::HostServer*> hosts,
+                   mgmt::MappingManager* mapping_manager, Config config);
+
+    RankingService(const RankingService&) = delete;
+    RankingService& operator=(const RankingService&) = delete;
+
+    ~RankingService();
+
+    /** Configure all eight FPGAs and start the service. */
+    void Deploy(std::function<void(bool)> on_done);
+
+    /**
+     * Inject a document from ring position `ring_index` (0..7) on the
+     * driver slot owned by `thread`. Completion (score or timeout)
+     * arrives via `on_complete`.
+     */
+    host::SendStatus Inject(int ring_index, int thread,
+                            const rank::CompressedRequest& request,
+                            std::function<void(const ScoreResult&)> on_complete);
+
+    /** Same, with an explicit slot (thread -> slots mapping bypassed). */
+    host::SendStatus InjectOnSlot(int ring_index, int slot,
+                                  const rank::CompressedRequest& request,
+                                  std::function<void(const ScoreResult&)> on_complete);
+
+    /** Pod-local node index of ring position `ring_index`. */
+    int RingNode(int ring_index) const { return ring_nodes_[ring_index]; }
+
+    /** Stage hosted at ring position `ring_index` under current mapping. */
+    rank::PipelineStage StageAt(int ring_index) const {
+        return stage_at_[ring_index];
+    }
+
+    /** Ring position currently hosting `stage`. */
+    int RingIndexOf(rank::PipelineStage stage) const;
+
+    /**
+     * Service Manager: rotate the ring after a machine failure so the
+     * spare takes over the lost stage (§4.2) and redeploy.
+     */
+    void RotateRingAround(int failed_ring_index,
+                          std::function<void(bool)> on_done);
+
+    rank::ModelStore& models() { return models_; }
+    const TraceArchive& trace_archive() const { return trace_archive_; }
+    const rank::Model& DefaultModel();
+    rank::QueueManager& queue_manager();
+    DocContext* FindContext(std::uint64_t trace_id);
+
+    /** Per-stage service time for a given request (used by benches). */
+    Time StageServiceTime(rank::PipelineStage stage,
+                          const rank::CompressedRequest& request,
+                          std::uint32_t model_id);
+
+    /**
+     * Wire payload leaving `stage`: the compressed document only travels
+     * to the head; downstream hops carry feature/operand data (§4.1's
+     * bandwidth-saving rationale applies inside the ring too).
+     */
+    Bytes StageOutputBytes(rank::PipelineStage stage, std::uint32_t model_id);
+
+    struct Counters {
+        std::uint64_t injected = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t timeouts = 0;
+        std::uint64_t model_reloads = 0;
+    };
+    const Counters& counters() const { return counters_; }
+
+    sim::Simulator* simulator() { return simulator_; }
+    fabric::CatapultFabric* fabric() { return fabric_; }
+    host::HostServer* host(int ring_index) {
+        return hosts_[static_cast<std::size_t>(RingNode(ring_index))];
+    }
+    const Config& config() const { return config_; }
+
+    /** Functional pipeline bound to a model (lazily built, cached). */
+    rank::RankingFunction& FunctionFor(std::uint32_t model_id);
+
+    /** Stage-role hook: count a pipeline-wide model reload. */
+    void BumpModelReloads();
+
+    /** The stage role currently at ring position `ring_index`. */
+    StageRole& role(int ring_index) {
+        return *roles_[static_cast<std::size_t>(ring_index)];
+    }
+
+  private:
+    friend class StageRole;
+
+    void BuildRoles();
+    void OnResponse(std::uint64_t trace_id, bool ok, float score,
+                    shell::PacketPtr packet);
+    void CompleteTimeout(std::uint64_t trace_id);
+
+    sim::Simulator* simulator_;
+    fabric::CatapultFabric* fabric_;
+    std::vector<host::HostServer*> hosts_;
+    mgmt::MappingManager* mapping_manager_;
+    Config config_;
+    rank::ModelStore models_;
+    rank::QueueManager queue_manager_;
+    TraceArchive trace_archive_;
+
+    std::array<int, kRingLength> ring_nodes_{};
+    std::array<rank::PipelineStage, kRingLength> stage_at_{};
+    std::vector<std::unique_ptr<StageRole>> roles_;
+    std::unordered_map<std::uint64_t, DocContext> in_flight_;
+    std::unordered_map<std::uint32_t, std::unique_ptr<rank::RankingFunction>>
+        functions_;
+    std::uint64_t next_trace_id_ = 1;
+    Counters counters_;
+};
+
+}  // namespace catapult::service

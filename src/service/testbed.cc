@@ -1,0 +1,34 @@
+#include "service/testbed.h"
+
+namespace catapult::service {
+
+PodTestbed::PodTestbed(Config config) : config_(std::move(config)) {
+    Rng rng(config_.seed);
+    fabric_ = std::make_unique<fabric::CatapultFabric>(&simulator_, rng.Fork(),
+                                                       config_.fabric);
+    for (int i = 0; i < fabric_->node_count(); ++i) {
+        hosts_storage_.push_back(std::make_unique<host::HostServer>(
+            &simulator_, "srv" + std::to_string(i), &fabric_->shell(i),
+            config_.host));
+        hosts_.push_back(hosts_storage_.back().get());
+        hosts_storage_.back()->driver().AssignThreads(config_.driver_threads);
+    }
+    mapping_manager_ = std::make_unique<mgmt::MappingManager>(
+        &simulator_, fabric_.get(), hosts_);
+    health_monitor_ = std::make_unique<mgmt::HealthMonitor>(
+        &simulator_, fabric_.get(), hosts_);
+    failure_injector_ = std::make_unique<mgmt::FailureInjector>(
+        &simulator_, fabric_.get(), hosts_, rng.Fork());
+    service_ = std::make_unique<RankingService>(&simulator_, fabric_.get(),
+                                                hosts_, mapping_manager_.get(),
+                                                config_.service);
+}
+
+bool PodTestbed::DeployAndSettle() {
+    bool deployed = false;
+    service_->Deploy([&](bool ok) { deployed = ok; });
+    simulator_.Run();
+    return deployed;
+}
+
+}  // namespace catapult::service

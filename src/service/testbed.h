@@ -1,0 +1,59 @@
+// One-stop testbed: a pod fabric, host servers, management services and
+// a deployed ranking service. Used by integration tests, examples and
+// every bench harness.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "fabric/catapult_fabric.h"
+#include "host/host_server.h"
+#include "mgmt/failure_injector.h"
+#include "mgmt/health_monitor.h"
+#include "mgmt/mapping_manager.h"
+#include "service/ranking_service.h"
+#include "sim/simulator.h"
+
+namespace catapult::service {
+
+class PodTestbed {
+  public:
+    struct Config {
+        fabric::CatapultFabric::Config fabric;
+        host::HostServer::Config host;
+        RankingService::Config service;
+        std::uint64_t seed = 0xBED5EEDull;
+        /** Threads per host pre-registered with the slot driver. */
+        int driver_threads = 32;
+    };
+
+    explicit PodTestbed(Config config);
+    PodTestbed() : PodTestbed(Config()) {}
+
+    /** Deploy the ranking service and run until configuration settles. */
+    bool DeployAndSettle();
+
+    sim::Simulator& simulator() { return simulator_; }
+    fabric::CatapultFabric& fabric() { return *fabric_; }
+    host::HostServer& host(int node) { return *hosts_storage_[node]; }
+    std::vector<host::HostServer*>& hosts() { return hosts_; }
+    mgmt::MappingManager& mapping_manager() { return *mapping_manager_; }
+    mgmt::HealthMonitor& health_monitor() { return *health_monitor_; }
+    mgmt::FailureInjector& failure_injector() { return *failure_injector_; }
+    RankingService& service() { return *service_; }
+
+  private:
+    Config config_;
+    sim::Simulator simulator_;
+    std::unique_ptr<fabric::CatapultFabric> fabric_;
+    std::vector<std::unique_ptr<host::HostServer>> hosts_storage_;
+    std::vector<host::HostServer*> hosts_;
+    std::unique_ptr<mgmt::MappingManager> mapping_manager_;
+    std::unique_ptr<mgmt::HealthMonitor> health_monitor_;
+    std::unique_ptr<mgmt::FailureInjector> failure_injector_;
+    std::unique_ptr<RankingService> service_;
+};
+
+}  // namespace catapult::service

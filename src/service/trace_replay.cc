@@ -1,0 +1,50 @@
+#include "service/trace_replay.h"
+
+#include <set>
+
+namespace catapult::service {
+
+void TraceArchive::Record(std::uint64_t trace_id, ArchivedTrace trace) {
+    if (entries_.size() >= capacity_ && !order_.empty()) {
+        // FIFO eviction of the oldest archived trace.
+        entries_.erase(order_[evict_next_ % order_.size()]);
+        order_[evict_next_ % order_.size()] = trace_id;
+        ++evict_next_;
+    } else {
+        order_.push_back(trace_id);
+    }
+    entries_[trace_id] = std::move(trace);
+}
+
+const ArchivedTrace* TraceArchive::Find(std::uint64_t trace_id) const {
+    const auto it = entries_.find(trace_id);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+TraceReplayer::Report TraceReplayer::Replay(
+    const std::vector<shell::FdrRecord>& fdr_window,
+    const TraceArchive& archive, rank::RankingFunction& function) {
+    Report report;
+    std::set<std::uint64_t> seen;
+    for (const auto& record : fdr_window) {
+        if (record.type != shell::PacketType::kScoringRequest) continue;
+        if (record.trace_id == 0) continue;
+        if (!seen.insert(record.trace_id).second) continue;  // dedupe
+        ++report.requests_in_window;
+        const ArchivedTrace* trace = archive.Find(record.trace_id);
+        if (trace == nullptr) {
+            ++report.missing;
+            continue;
+        }
+        ++report.replayed;
+        const float replay_score = function.Score(trace->request);
+        if (!trace->scored || replay_score == trace->score) {
+            ++report.matched;
+        } else {
+            ++report.mismatched;
+        }
+    }
+    return report;
+}
+
+}  // namespace catapult::service

@@ -1,0 +1,71 @@
+// FDR trace replay (§3.6).
+//
+// "The FDR maintains a circular buffer that records the most recent
+// head and tail flits of all packets entering and exiting the FPGA
+// through the router. This information includes: (1) a trace ID that
+// corresponds to a specific compressed document that can be replayed in
+// a test environment ..."
+//
+// The TraceArchive is the production-side store mapping trace ids to
+// the compressed documents (and the scores they produced); the
+// TraceReplayer takes a streamed-out FDR window, pulls each scoring
+// request's document from the archive, re-runs it through the
+// functional pipeline, and verifies the score reproduces exactly —
+// which is how the original team debugged at-scale failures offline.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rank/document.h"
+#include "rank/software_ranker.h"
+#include "shell/flight_data_recorder.h"
+
+namespace catapult::service {
+
+/** Archived request + the score the pipeline produced for it. */
+struct ArchivedTrace {
+    rank::CompressedRequest request;
+    float score = 0.0f;
+    bool scored = false;
+};
+
+/** Bounded trace id -> document archive (host-side, per service). */
+class TraceArchive {
+  public:
+    explicit TraceArchive(std::size_t capacity = 65'536)
+        : capacity_(capacity) {}
+
+    void Record(std::uint64_t trace_id, ArchivedTrace trace);
+    const ArchivedTrace* Find(std::uint64_t trace_id) const;
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::size_t capacity_;
+    std::unordered_map<std::uint64_t, ArchivedTrace> entries_;
+    std::vector<std::uint64_t> order_;  // FIFO eviction
+    std::size_t evict_next_ = 0;
+};
+
+class TraceReplayer {
+  public:
+    struct Report {
+        int requests_in_window = 0;  ///< Scoring requests seen in the FDR.
+        int replayed = 0;            ///< Found in the archive and re-run.
+        int matched = 0;             ///< Replay score == recorded score.
+        int mismatched = 0;
+        int missing = 0;             ///< Evicted from the archive.
+    };
+
+    /**
+     * Replay every scoring request in an FDR window against the
+     * archive using `function` (the same model the pipeline ran).
+     */
+    static Report Replay(const std::vector<shell::FdrRecord>& fdr_window,
+                         const TraceArchive& archive,
+                         rank::RankingFunction& function);
+};
+
+}  // namespace catapult::service

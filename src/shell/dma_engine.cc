@@ -1,0 +1,117 @@
+#include "shell/dma_engine.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace catapult::shell {
+
+DmaEngine::DmaEngine(sim::Simulator* simulator, Config config)
+    : simulator_(simulator),
+      config_(config),
+      h2f_(simulator, config.pcie),
+      f2h_(simulator, config.pcie) {
+    assert(simulator_ != nullptr);
+}
+
+bool DmaEngine::SetInputFull(int slot, PacketPtr packet) {
+    assert(slot >= 0 && slot < kDmaSlotCount);
+    assert(packet != nullptr);
+    if (input_full_[slot].has_value()) return false;
+    if (packet->size > kDmaSlotBytes) return false;
+    input_full_[slot] = std::move(packet);
+    PumpInput();
+    return true;
+}
+
+void DmaEngine::PumpInput() {
+    if (input_dma_active_) return;
+    if (snapshot_.empty()) {
+        // Take a snapshot of the full bits (§3.1 fairness): all currently
+        // full slots are drained before the next snapshot.
+        for (int s = 0; s < kDmaSlotCount; ++s) {
+            if (input_full_[s].has_value()) snapshot_.push_back(s);
+        }
+        if (snapshot_.empty()) return;
+        ++counters_.snapshots;
+    }
+    StartSnapshotTransfer();
+}
+
+void DmaEngine::StartSnapshotTransfer() {
+    assert(!snapshot_.empty());
+    input_dma_active_ = true;
+    const int slot = snapshot_.front();
+    snapshot_.pop_front();
+    // The slot may have been claimed by an earlier snapshot pass only if
+    // protocol was violated; guard anyway.
+    if (!input_full_[slot].has_value()) {
+        input_dma_active_ = false;
+        PumpInput();
+        return;
+    }
+    PacketPtr packet = *input_full_[slot];
+    h2f_.Transfer(packet->size, [this, slot, packet](bool ok) {
+        input_dma_active_ = false;
+        // Full bit cleared once the data reaches FPGA staging.
+        input_full_[slot].reset();
+        if (on_input_cleared_) on_input_cleared_(slot);
+        if (ok) {
+            ++counters_.host_to_fpga;
+            packet->slot = slot;
+            if (on_ingress_) on_ingress_(packet);
+        } else {
+            ++counters_.failed_transfers;
+            LOG_DEBUG("dma") << "host->fpga transfer failed (slot " << slot
+                             << ")";
+        }
+        PumpInput();
+    });
+}
+
+void DmaEngine::SendToHost(int slot, PacketPtr packet) {
+    assert(slot >= 0 && slot < kDmaSlotCount);
+    output_wait_[slot].push_back(std::move(packet));
+    PumpOutput(slot);
+}
+
+void DmaEngine::PumpOutput(int slot) {
+    if (output_dma_active_[slot] || output_wait_[slot].empty()) return;
+    if (output_full_[slot]) {
+        // §3.1: the FPGA checks that the output slot is empty first.
+        ++counters_.output_stalls;
+        return;  // retried when the host consumes the slot
+    }
+    output_dma_active_[slot] = true;
+    PacketPtr packet = output_wait_[slot].front();
+    output_wait_[slot].pop_front();
+    f2h_.Transfer(packet->size, [this, slot, packet](bool ok) {
+        output_dma_active_[slot] = false;
+        if (!ok) {
+            ++counters_.failed_transfers;
+            PumpOutput(slot);
+            return;
+        }
+        ++counters_.fpga_to_host;
+        output_full_[slot] = true;
+        // Interrupt to wake the consumer thread (§3.1).
+        simulator_->ScheduleAfter(
+            config_.interrupt_latency, [this, slot, packet] {
+                if (on_output_ready_) on_output_ready_(slot, packet);
+            });
+        PumpOutput(slot);
+    });
+}
+
+void DmaEngine::ConsumeOutput(int slot) {
+    assert(slot >= 0 && slot < kDmaSlotCount);
+    output_full_[slot] = false;
+    PumpOutput(slot);
+}
+
+void DmaEngine::set_device_present(bool present) {
+    h2f_.set_device_present(present);
+    f2h_.set_device_present(present);
+}
+
+}  // namespace catapult::shell

@@ -1,0 +1,56 @@
+#include "shell/dram_controller.h"
+
+#include <cassert>
+
+namespace catapult::shell {
+
+DramController::DramController(sim::Simulator* simulator, Rng rng,
+                               Config config)
+    : simulator_(simulator), rng_(rng), config_(config) {
+    assert(simulator_ != nullptr);
+}
+
+Bytes DramController::Capacity() const {
+    // Per-channel: one SO-DIMM (4 GB dual-rank usable as 8 GB across the
+    // pair; the board total is 8 GB / 4 GB depending on mode).
+    return config_.mode == DramMode::kDualRank1333 ? GiB(4) : GiB(2);
+}
+
+Bandwidth DramController::PeakBandwidth() const {
+    // 64-bit data path: DDR3-1333 = 10.667 GB/s, DDR3-1600 = 12.8 GB/s.
+    return config_.mode == DramMode::kDualRank1333
+               ? Bandwidth::MegabytesPerSecond(10'667)
+               : Bandwidth::MegabytesPerSecond(12'800);
+}
+
+Time DramController::TransferTime(Bytes size) const {
+    return config_.access_latency + EffectiveBandwidth().SerializationTime(size);
+}
+
+void DramController::Transfer(Bytes size, std::function<void(bool)> on_done) {
+    queue_.push_back(Request{size, std::move(on_done)});
+    Pump();
+}
+
+void DramController::Pump() {
+    if (busy_ || queue_.empty()) return;
+    busy_ = true;
+    Request request = std::move(queue_.front());
+    queue_.pop_front();
+    const Time duration = TransferTime(request.size);
+    simulator_->ScheduleAfter(duration, [this, request = std::move(request)] {
+        ++status_.transfers;
+        bool ok = status_.calibrated;
+        if (ok && rng_.Chance(config_.double_bit_error_rate)) {
+            ++status_.double_bit_errors;
+            ok = false;
+        } else if (ok && rng_.Chance(config_.single_bit_error_rate)) {
+            ++status_.single_bit_errors;  // corrected, transfer succeeds
+        }
+        request.on_done(ok);
+        busy_ = false;
+        Pump();
+    });
+}
+
+}  // namespace catapult::shell

@@ -1,0 +1,49 @@
+#include "shell/flight_data_recorder.h"
+
+namespace catapult::shell {
+
+void FlightDataRecorder::Record(const FdrRecord& record) {
+    if (spill_capacity_ > 0 && total_ >= kWindow) {
+        // The slot being overwritten holds the oldest window entry;
+        // spill it to the DRAM history before eviction.
+        if (spill_.size() < spill_capacity_) {
+            spill_.push_back(ring_[total_ % kWindow]);
+        } else {
+            ++spill_overflow_;
+        }
+    }
+    ring_[total_ % kWindow] = record;
+    ++total_;
+}
+
+void FlightDataRecorder::EnableDramSpill(std::size_t capacity_records) {
+    spill_capacity_ = capacity_records;
+    spill_.reserve(capacity_records);
+}
+
+std::vector<FdrRecord> FlightDataRecorder::StreamOutExtended() const {
+    std::vector<FdrRecord> out = spill_;
+    const auto window = StreamOut();
+    out.insert(out.end(), window.begin(), window.end());
+    return out;
+}
+
+std::vector<FdrRecord> FlightDataRecorder::StreamOut() const {
+    std::vector<FdrRecord> out;
+    const std::size_t n = window_occupancy();
+    out.reserve(n);
+    const std::uint64_t start = total_ >= kWindow ? total_ - kWindow : 0;
+    for (std::uint64_t i = start; i < total_; ++i) {
+        out.push_back(ring_[i % kWindow]);
+    }
+    return out;
+}
+
+void FlightDataRecorder::Reset() {
+    total_ = 0;
+    power_on_ = PowerOnRecord{};
+    spill_.clear();
+    spill_overflow_ = 0;
+}
+
+}  // namespace catapult::shell

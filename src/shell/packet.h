@@ -1,0 +1,96 @@
+// Packets and flits on the inter-FPGA network.
+//
+// The shell's transport is "virtual cut-through with no retransmission
+// or source buffering" (§3.2). Packets are segmented into flits on the
+// SL3 links; ECC is per-flit (SECDED) with a CRC over the whole packet
+// caught at the end of transmission. The Flight Data Recorder logs head
+// and tail flits of every packet crossing the router (§3.6).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/units.h"
+
+namespace catapult::shell {
+
+/** Global server / FPGA identifier within a deployment. */
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+/** Router ports on each shell (§3.2: 4 network + PCIe + role). */
+enum class Port : std::uint8_t {
+    kRole = 0,
+    kPcie = 1,
+    kNorth = 2,
+    kSouth = 3,
+    kEast = 4,
+    kWest = 5,
+};
+
+inline constexpr int kPortCount = 6;
+
+const char* ToString(Port port);
+
+/** Opposite direction of a torus port (kNorth <-> kSouth etc.). */
+Port Opposite(Port port);
+
+/** Message classes carried over the fabric. */
+enum class PacketType : std::uint8_t {
+    kScoringRequest,   ///< Compressed {document, query} toward the pipeline.
+    kScoringResponse,  ///< Score + counters back to the injecting server.
+    kModelReload,      ///< Queue Manager model switch command (§4.3).
+    kTxHalt,           ///< "Ignore me, I am reconfiguring" (§3.4).
+    kLinkProbe,        ///< Health Monitor neighbour identity check (§3.5).
+    kGarbage,          ///< Random traffic from a reconfiguring neighbour.
+};
+
+const char* ToString(PacketType type);
+
+/**
+ * A packet in flight on the fabric. Reference-counted because it is
+ * observed concurrently by links, routers and the FDR.
+ */
+struct Packet {
+    PacketType type = PacketType::kScoringRequest;
+    NodeId source = kInvalidNode;
+    NodeId destination = kInvalidNode;
+
+    /** Trace id: maps to a replayable compressed document (§3.6). */
+    std::uint64_t trace_id = 0;
+
+    /** Payload size on the wire (drives serialization time). */
+    Bytes size = 0;
+
+    /** Shell compatibility version of the sender (§3.4). */
+    std::uint32_t shell_version = 1;
+
+    /** Opaque application payload (e.g. index into a document store). */
+    std::uint64_t payload = 0;
+
+    /** Set when flit ECC corrected at least one single-bit error. */
+    bool ecc_corrected = false;
+
+    /** Injection timestamp, for latency accounting. */
+    Time injected_at = 0;
+
+    /** Slot the requesting thread used (for response routing, §3.1). */
+    std::int32_t slot = -1;
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+/** Convenience constructor. */
+PacketPtr MakePacket(PacketType type, NodeId source, NodeId destination,
+                     Bytes size, std::uint64_t trace_id = 0);
+
+/** Number of SL3 flits a packet of `size` bytes occupies. */
+int FlitCount(Bytes size);
+
+/** Flit payload width on the SL3 links. */
+inline constexpr Bytes kFlitBytes = 32;
+
+}  // namespace catapult::shell

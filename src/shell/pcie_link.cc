@@ -1,0 +1,45 @@
+#include "shell/pcie_link.h"
+
+#include <cassert>
+
+namespace catapult::shell {
+
+PcieLink::PcieLink(sim::Simulator* simulator, Config config)
+    : simulator_(simulator), config_(config) {
+    assert(simulator_ != nullptr);
+}
+
+void PcieLink::Transfer(Bytes size, std::function<void(bool)> on_done) {
+    queue_.push_back(Request{size, std::move(on_done)});
+    Pump();
+}
+
+void PcieLink::Pump() {
+    if (busy_ || queue_.empty()) return;
+    busy_ = true;
+    Request request = std::move(queue_.front());
+    queue_.pop_front();
+    const Time duration = TransferTime(request.size);
+    simulator_->ScheduleAfter(duration, [this, request = std::move(request)] {
+        bool ok = device_present_;
+        if (ok && config_.error_rate > 0.0) {
+            // xorshift64* keeps this header-light; PCIe errors are only
+            // enabled in failure-injection tests.
+            rng_state_ ^= rng_state_ >> 12;
+            rng_state_ ^= rng_state_ << 25;
+            rng_state_ ^= rng_state_ >> 27;
+            const double u =
+                static_cast<double>((rng_state_ * 0x2545F4914F6CDD1Dull) >> 11) *
+                0x1.0p-53;
+            if (u < config_.error_rate) ok = false;
+        }
+        ++counters_.transfers;
+        counters_.bytes += static_cast<std::uint64_t>(request.size);
+        if (!ok) ++counters_.errors;
+        request.on_done(ok);
+        busy_ = false;
+        Pump();
+    });
+}
+
+}  // namespace catapult::shell

@@ -1,0 +1,81 @@
+// PCIe x8 link between host CPU and FPGA.
+//
+// §2.1/§3.1: the FPGA interfaces to the host over PCIe with a custom
+// DMA engine; the design goal is "fewer than 10 us for transfers of
+// 16 KB or less", achieved by avoiding system calls (user-level buffers)
+// — that part lives in host::SlotDmaChannel. This model provides the
+// raw transport: per-transfer base latency plus serialization at the
+// effective link bandwidth, one transfer at a time per direction.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace catapult::shell {
+
+class PcieLink {
+  public:
+    struct Config {
+        /** Effective DMA bandwidth (x8 lanes, after protocol overhead). */
+        Bandwidth bandwidth = Bandwidth::MegabytesPerSecond(3'200);
+        /** Base latency per DMA descriptor (doorbell, TLP, completion). */
+        Time base_latency = Nanoseconds(900);
+        /** Probability of a link-level error (retrain + failure flag). */
+        double error_rate = 0.0;
+    };
+
+    struct Counters {
+        std::uint64_t transfers = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t errors = 0;
+    };
+
+    PcieLink(sim::Simulator* simulator, Config config);
+    explicit PcieLink(sim::Simulator* simulator)
+        : PcieLink(simulator, Config()) {}
+
+    /**
+     * Queue a transfer in one direction; both directions share the model
+     * object but have independent channels in hardware, so callers keep
+     * one PcieLink per direction.
+     */
+    void Transfer(Bytes size, std::function<void(bool)> on_done);
+
+    /** Unqueued time for a transfer of `size` bytes. */
+    Time TransferTime(Bytes size) const {
+        return config_.base_latency + config_.bandwidth.SerializationTime(size);
+    }
+
+    /** Surprise-removal state: device reconfiguring (§3.4). */
+    void set_device_present(bool present) { device_present_ = present; }
+    bool device_present() const { return device_present_; }
+
+    const Counters& counters() const { return counters_; }
+    const Config& config() const { return config_; }
+    std::size_t QueueDepth() const { return queue_.size(); }
+
+    void set_error_rate(double rate) { config_.error_rate = rate; }
+
+  private:
+    struct Request {
+        Bytes size;
+        std::function<void(bool)> on_done;
+    };
+
+    void Pump();
+
+    sim::Simulator* simulator_;
+    Config config_;
+    Counters counters_;
+    std::deque<Request> queue_;
+    bool busy_ = false;
+    bool device_present_ = true;
+    std::uint64_t rng_state_ = 0x853c49e6748fea9bull;
+};
+
+}  // namespace catapult::shell

@@ -1,0 +1,95 @@
+#include "shell/router.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace catapult::shell {
+
+Router::Router(sim::Simulator* simulator, NodeId local_node, Config config)
+    : simulator_(simulator), local_node_(local_node), config_(config) {
+    assert(simulator_ != nullptr);
+}
+
+void Router::AttachLink(Port port, Sl3Link* link) {
+    assert(port == Port::kNorth || port == Port::kSouth ||
+           port == Port::kEast || port == Port::kWest);
+    links_[static_cast<int>(port)] = link;
+    link->set_on_receive([this, port] { OnLinkReceive(port); });
+}
+
+Sl3Link* Router::link(Port port) const {
+    return links_[static_cast<int>(port)];
+}
+
+std::size_t Router::InputOccupancyFlits(Port port) const {
+    const Sl3Link* l = links_[static_cast<int>(port)];
+    return l != nullptr ? l->RxQueueDepthFlits() : 0;
+}
+
+void Router::OnLinkReceive(Port port) {
+    if (drain_scheduled_[static_cast<int>(port)]) return;
+    drain_scheduled_[static_cast<int>(port)] = true;
+    simulator_->ScheduleAfter(config_.hop_latency,
+                              [this, port] { DrainInput(port); });
+}
+
+void Router::DrainInput(Port port) {
+    drain_scheduled_[static_cast<int>(port)] = false;
+    Sl3Link* in = links_[static_cast<int>(port)];
+    if (in == nullptr) return;
+    while (in->HasReceived()) {
+        // Peek at the head by popping; if the output stalls we re-queue
+        // via a retry rather than head-of-line-block other messages that
+        // share the crossbar (outputs are independent).
+        PacketPtr packet = in->PopReceived();
+        Route(std::move(packet), port);
+    }
+}
+
+void Router::Inject(PacketPtr packet, Port from) {
+    ++counters_.injected;
+    simulator_->ScheduleAfter(
+        config_.hop_latency,
+        [this, packet = std::move(packet), from]() mutable {
+            Route(std::move(packet), from);
+        });
+}
+
+void Router::Route(PacketPtr packet, Port in) {
+    if (packet->destination == local_node_) {
+        ++counters_.delivered_local;
+        if (tap_) tap_(packet, in, Port::kRole);
+        if (local_delivery_) local_delivery_(std::move(packet));
+        return;
+    }
+    Port out;
+    if (!table_.Lookup(packet->destination, out)) {
+        ++counters_.no_route_drops;
+        LOG_DEBUG("router") << "node " << local_node_ << ": no route to "
+                            << packet->destination << ", dropping "
+                            << ToString(packet->type);
+        return;
+    }
+    Sl3Link* link = links_[static_cast<int>(out)];
+    if (link == nullptr) {
+        ++counters_.no_route_drops;
+        return;
+    }
+    if (tap_) tap_(packet, in, out);
+    if (!link->Send(packet)) {
+        // Output transmit queue full: virtual cut-through applies
+        // backpressure. Retry shortly; Xon/Xoff upstream of us throttles
+        // the actual producer.
+        ++counters_.backpressure_stalls;
+        simulator_->ScheduleAfter(
+            config_.backpressure_retry,
+            [this, packet = std::move(packet), in]() mutable {
+                Route(std::move(packet), in);
+            });
+        return;
+    }
+    ++counters_.forwarded;
+}
+
+}  // namespace catapult::shell

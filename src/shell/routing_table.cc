@@ -1,0 +1,22 @@
+#include "shell/routing_table.h"
+
+namespace catapult::shell {
+
+void RoutingTable::SetRoute(NodeId destination, Port out_port) {
+    routes_[destination] = out_port;
+}
+
+void RoutingTable::ClearRoute(NodeId destination) {
+    routes_.erase(destination);
+}
+
+void RoutingTable::Clear() { routes_.clear(); }
+
+bool RoutingTable::Lookup(NodeId destination, Port& out_port) const {
+    const auto it = routes_.find(destination);
+    if (it == routes_.end()) return false;
+    out_port = it->second;
+    return true;
+}
+
+}  // namespace catapult::shell

@@ -1,0 +1,41 @@
+// Static software-configured routing table (§3.2).
+//
+// "The routing decisions are made by a static software-configured
+// routing table that supports different routing policies." The Mapping
+// Manager computes a table per shell (dimension-order for the torus,
+// or explicit next-hops for ring pipelines) and installs it here.
+
+#pragma once
+
+#include <unordered_map>
+
+#include "shell/packet.h"
+
+namespace catapult::shell {
+
+class RoutingTable {
+  public:
+    /** Install/overwrite the route for `destination`. */
+    void SetRoute(NodeId destination, Port out_port);
+
+    /** Remove a route. */
+    void ClearRoute(NodeId destination);
+
+    /** Drop all routes (reconfiguration). */
+    void Clear();
+
+    /**
+     * Look up the output port for `destination`. Packets addressed to
+     * this node itself should be routed to kRole or kPcie by the
+     * caller before consulting the table. Returns false when no route
+     * exists (packet is dropped; §3.2 transport never retransmits).
+     */
+    bool Lookup(NodeId destination, Port& out_port) const;
+
+    std::size_t size() const { return routes_.size(); }
+
+  private:
+    std::unordered_map<NodeId, Port> routes_;
+};
+
+}  // namespace catapult::shell

@@ -1,0 +1,183 @@
+// SerialLite III (SL3) inter-FPGA link endpoint.
+//
+// Each shell has four SL3 cores wired to torus neighbours over SAS
+// cables: 2 lanes x 10 Gb/s = 20 Gb/s peak bidirectional per link at
+// sub-microsecond latency (§2.2). The protocol properties modelled here
+// come from §3.2 and §3.4:
+//   * FIFO semantics with Xon/Xoff flow control;
+//   * per-flit SECDED ECC costing 20% of peak bandwidth; single-bit
+//     errors corrected, double-bit errors detected (packet dropped);
+//   * flits with >= 3 bit errors can pass ECC but are "likely to be
+//     detected at the end of packet transmission with a CRC check";
+//     double-bit/CRC failures drop the packet with no retransmission —
+//     the host times out and invokes higher-level failure handling;
+//   * TX Halt: a reconfiguring FPGA warns neighbours to ignore traffic
+//     until the link is re-established;
+//   * RX Halt: an FPGA coming out of reconfiguration drops all link
+//     traffic until the Mapping Manager releases it.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "shell/packet.h"
+#include "sim/simulator.h"
+
+namespace catapult::shell {
+
+class Sl3Link {
+  public:
+    struct Config {
+        /** Peak per-direction bandwidth: 2 lanes x 10 Gb/s. */
+        Bandwidth raw_bandwidth = Bandwidth::GigabitsPerSecond(20.0);
+        /** ECC tax on peak bandwidth (§3.2: 20%). */
+        double ecc_overhead = 0.20;
+        /** Cable + SerDes propagation latency (sub-microsecond, §2.2). */
+        Time propagation_delay = Nanoseconds(400);
+        /** Receive buffer capacity in flits before Xoff is asserted. */
+        int rx_xoff_threshold_flits = 4096;
+        /** Receive occupancy at which Xon is re-asserted. */
+        int rx_xon_threshold_flits = 1024;
+        /** Raw bit error rate on the lanes (0 for healthy cables). */
+        double bit_error_rate = 0.0;
+        /** Manufacturing defect: link never locks, all traffic lost. */
+        bool defective = false;
+    };
+
+    struct Counters {
+        std::uint64_t packets_sent = 0;
+        std::uint64_t packets_delivered = 0;
+        std::uint64_t flits_sent = 0;
+        std::uint64_t single_bit_corrected = 0;
+        std::uint64_t double_bit_drops = 0;
+        std::uint64_t crc_drops = 0;
+        std::uint64_t undetected_errors = 0;
+        std::uint64_t rx_halt_drops = 0;
+        std::uint64_t tx_halt_suppressed = 0;
+        std::uint64_t version_mismatch_drops = 0;
+        std::uint64_t garbage_received = 0;
+        std::uint64_t no_peer_drops = 0;
+        std::uint64_t defective_drops = 0;
+        std::uint64_t xoff_asserted = 0;
+    };
+
+    Sl3Link(sim::Simulator* simulator, std::string name, Rng rng,
+            Config config);
+    Sl3Link(sim::Simulator* simulator, std::string name, Rng rng)
+        : Sl3Link(simulator, std::move(name), rng, Config()) {}
+
+    Sl3Link(const Sl3Link&) = delete;
+    Sl3Link& operator=(const Sl3Link&) = delete;
+
+    /** Wire this endpoint to its cable peer (bidirectional). */
+    void ConnectTo(Sl3Link* peer);
+    Sl3Link* peer() const { return peer_; }
+    bool connected() const { return peer_ != nullptr; }
+
+    /**
+     * Queue a packet for transmission. Returns false when the TX queue
+     * is beyond its bound (callers treat this as backpressure).
+     */
+    bool Send(PacketPtr packet);
+
+    /** Flits queued for transmit (before serialization). */
+    std::size_t TxQueueDepthFlits() const { return tx_queue_flits_; }
+
+    /** Flits held in the receive buffer awaiting router drain. */
+    std::size_t RxQueueDepthFlits() const { return rx_queue_flits_; }
+
+    /** Pop the next received packet; null when empty. */
+    PacketPtr PopReceived();
+
+    /** True when the receive buffer holds at least one packet. */
+    bool HasReceived() const { return !rx_queue_.empty(); }
+
+    /**
+     * TX Halt (§3.4). Entering halt emits the "TX Halt" control message
+     * so the neighbour ignores subsequent garbage; leaving halt
+     * re-establishes the link after a relock delay.
+     */
+    void SetTxHalt(bool halted);
+    bool tx_halted() const { return tx_halted_; }
+
+    /** RX Halt (§3.4): drop every arriving packet until released. */
+    void SetRxHalt(bool halted);
+    bool rx_halted() const { return rx_halted_; }
+
+    /** Peer has declared TX Halt; its traffic is ignored until relock. */
+    bool peer_halted() const { return peer_declared_halt_; }
+
+    /** Reconfiguration glitch: emit one garbage burst (no TX halt sent). */
+    void EmitGarbageBurst();
+
+    /** Notification hooks. */
+    void set_on_receive(std::function<void()> cb) { on_receive_ = std::move(cb); }
+    void set_on_corruption(std::function<void(const PacketPtr&)> cb) {
+        on_corruption_ = std::move(cb);
+    }
+
+    /** Local shell compatibility version stamped on outgoing packets. */
+    void set_shell_version(std::uint32_t v) { shell_version_ = v; }
+    std::uint32_t shell_version() const { return shell_version_; }
+
+    /** Effective data bandwidth after the ECC tax. */
+    Bandwidth EffectiveBandwidth() const {
+        return config_.raw_bandwidth.Scaled(1.0 - config_.ecc_overhead);
+    }
+
+    /** Serialization time of `size` bytes at the effective bandwidth. */
+    Time SerializationTime(Bytes size) const {
+        return EffectiveBandwidth().SerializationTime(size);
+    }
+
+    /** Whether the SL3 core achieved lane lock (false for defects). */
+    bool locked() const { return connected() && !config_.defective; }
+
+    const Counters& counters() const { return counters_; }
+    const Config& config() const { return config_; }
+    const std::string& name() const { return name_; }
+
+    /** Error-injection control for tests. */
+    void set_bit_error_rate(double ber) { config_.bit_error_rate = ber; }
+    void set_defective(bool defective) { config_.defective = defective; }
+
+  private:
+    void PumpTransmit();
+    void Arrive(PacketPtr packet);
+    void NotifyRxOccupancy();
+    void OnPeerXoff(bool asserted);
+    void OnPeerDeclaredHalt(bool halted);
+
+    /** Apply the flit ECC + CRC error model; true when packet survives. */
+    bool SurvivesErrorModel(const PacketPtr& packet);
+
+    sim::Simulator* simulator_;
+    std::string name_;
+    Rng rng_;
+    Config config_;
+    Sl3Link* peer_ = nullptr;
+    std::uint32_t shell_version_ = 1;
+
+    std::deque<PacketPtr> tx_queue_;
+    std::size_t tx_queue_flits_ = 0;
+    bool tx_busy_ = false;
+    bool tx_halted_ = false;
+    bool peer_xoff_ = false;
+
+    std::deque<PacketPtr> rx_queue_;
+    std::size_t rx_queue_flits_ = 0;
+    bool rx_halted_ = false;
+    bool rx_xoff_sent_ = false;
+    bool peer_declared_halt_ = false;
+
+    std::function<void()> on_receive_;
+    std::function<void(const PacketPtr&)> on_corruption_;
+    Counters counters_;
+};
+
+}  // namespace catapult::shell

@@ -1,0 +1,126 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace catapult::sim {
+
+EventHandle Simulator::Schedule(Time when, EventFn fn, EventPriority priority,
+                                bool daemon) {
+    assert(when >= now_ && "cannot schedule in the past");
+    const std::uint64_t id = next_sequence_++;
+    queue_.push(Scheduled{when, static_cast<int>(priority), id, id, daemon,
+                          std::move(fn)});
+    ++live_events_;
+    if (daemon) ++daemon_events_;
+    return EventHandle(id);
+}
+
+EventHandle Simulator::ScheduleAt(Time when, EventFn fn,
+                                  EventPriority priority) {
+    return Schedule(when, std::move(fn), priority, /*daemon=*/false);
+}
+
+EventHandle Simulator::ScheduleAfter(Time delay, EventFn fn,
+                                     EventPriority priority) {
+    assert(delay >= 0);
+    return Schedule(now_ + delay, std::move(fn), priority, /*daemon=*/false);
+}
+
+EventHandle Simulator::ScheduleDaemonAt(Time when, EventFn fn,
+                                        EventPriority priority) {
+    return Schedule(when, std::move(fn), priority, /*daemon=*/true);
+}
+
+EventHandle Simulator::ScheduleDaemonAfter(Time delay, EventFn fn,
+                                           EventPriority priority) {
+    assert(delay >= 0);
+    return Schedule(now_ + delay, std::move(fn), priority, /*daemon=*/true);
+}
+
+void Simulator::Cancel(const EventHandle& handle) {
+    if (!handle.valid()) return;
+    // Lazy deletion: remember the id and skip it when popped. The
+    // cancelled list stays sorted for binary search.
+    const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(),
+                                     handle.id());
+    if (it != cancelled_.end() && *it == handle.id()) return;
+    cancelled_.insert(it, handle.id());
+}
+
+bool Simulator::PopNext(Scheduled& out) {
+    while (!queue_.empty()) {
+        out = queue_.top();
+        queue_.pop();
+        const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(),
+                                         out.id);
+        if (it != cancelled_.end() && *it == out.id) {
+            cancelled_.erase(it);
+            --live_events_;
+            if (out.daemon) --daemon_events_;
+            continue;  // cancelled; skip
+        }
+        return true;
+    }
+    return false;
+}
+
+bool Simulator::Step() {
+    Scheduled event;
+    if (!PopNext(event)) return false;
+    --live_events_;
+    if (event.daemon) --daemon_events_;
+    now_ = event.when;
+    ++events_fired_;
+    event.fn();
+    return true;
+}
+
+std::uint64_t Simulator::Run() {
+    // Stop when only daemon (background) events remain: recurring
+    // processes like SEU injection never drain on their own. The check
+    // happens after PopNext so lazily-cancelled foreground events do
+    // not force a far-future daemon event to fire.
+    std::uint64_t fired = 0;
+    Scheduled event;
+    while (true) {
+        if (!PopNext(event)) break;
+        if (event.daemon && live_events_ == daemon_events_) {
+            // Only background work remains; leave it pending.
+            queue_.push(std::move(event));
+            break;
+        }
+        --live_events_;
+        if (event.daemon) --daemon_events_;
+        now_ = event.when;
+        ++events_fired_;
+        ++fired;
+        event.fn();
+    }
+    return fired;
+}
+
+std::uint64_t Simulator::RunUntil(Time horizon) {
+    std::uint64_t fired = 0;
+    Scheduled event;
+    while (true) {
+        if (!PopNext(event)) break;
+        if (event.when > horizon) {
+            // Put it back; advancing now_ to the horizon keeps callers'
+            // notion of elapsed time consistent.
+            queue_.push(event);
+            now_ = horizon;
+            break;
+        }
+        --live_events_;
+        if (event.daemon) --daemon_events_;
+        now_ = event.when;
+        ++events_fired_;
+        ++fired;
+        event.fn();
+    }
+    if (now_ < horizon) now_ = horizon;
+    return fired;
+}
+
+}  // namespace catapult::sim

@@ -1,0 +1,167 @@
+// Discrete-event simulation kernel.
+//
+// The kernel is a single-threaded event queue ordered by (time, priority,
+// sequence). Every hardware model in the library — PCIe DMA engines, SL3
+// links, the torus router, the ranking pipeline stages — schedules
+// callbacks here. Ties at the same simulated time break first on an
+// explicit priority, then on insertion order, so runs are deterministic.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace catapult::sim {
+
+/** Callback invoked when a scheduled event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * Priorities for same-tick ordering. Lower values run first. Most
+ * events use kDefault; "link delivered a flit" style events use
+ * kDeliver so consumers observe data before same-tick producers act.
+ */
+enum class EventPriority : int {
+    kDeliver = 0,
+    kDefault = 10,
+    kTimeout = 20,
+};
+
+/** Handle to a scheduled event, usable for cancellation. */
+class EventHandle {
+  public:
+    EventHandle() = default;
+
+    bool valid() const { return id_ != 0; }
+    std::uint64_t id() const { return id_; }
+
+  private:
+    friend class Simulator;
+    explicit EventHandle(std::uint64_t id) : id_(id) {}
+    std::uint64_t id_ = 0;
+};
+
+/**
+ * The event queue and simulated clock.
+ *
+ * Components hold a Simulator* and use ScheduleAt/ScheduleAfter. Run()
+ * drains events until the queue empties or a configured horizon is hit.
+ */
+class Simulator {
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    /** Current simulated time. */
+    Time Now() const { return now_; }
+
+    /** Schedule `fn` at absolute time `when` (must be >= Now()). */
+    EventHandle ScheduleAt(Time when, EventFn fn,
+                           EventPriority priority = EventPriority::kDefault);
+
+    /** Schedule `fn` after `delay` from now. */
+    EventHandle ScheduleAfter(Time delay, EventFn fn,
+                              EventPriority priority = EventPriority::kDefault);
+
+    /**
+     * Schedule a daemon (background) event. Daemon events model
+     * open-ended recurring processes — SEU upsets, periodic scrubbing —
+     * that must not keep Run() alive: Run() stops once only daemon
+     * events remain, while RunUntil() still executes them up to the
+     * horizon.
+     */
+    EventHandle ScheduleDaemonAt(Time when, EventFn fn,
+                                 EventPriority priority = EventPriority::kDefault);
+    EventHandle ScheduleDaemonAfter(Time delay, EventFn fn,
+                                    EventPriority priority = EventPriority::kDefault);
+
+    /** Cancel a pending event; no-op if it already fired or was cancelled. */
+    void Cancel(const EventHandle& handle);
+
+    /** Run until the queue is empty. Returns the number of events fired. */
+    std::uint64_t Run();
+
+    /** Run until the queue is empty or simulated time reaches `horizon`. */
+    std::uint64_t RunUntil(Time horizon);
+
+    /** Fire at most one event. Returns false when the queue is empty. */
+    bool Step();
+
+    /** True when no non-daemon events are pending. */
+    bool Empty() const { return live_events_ == daemon_events_; }
+
+    /** Number of pending (non-cancelled) events, daemons included. */
+    std::uint64_t PendingEvents() const { return live_events_; }
+
+    /** Total events fired since construction. */
+    std::uint64_t EventsFired() const { return events_fired_; }
+
+  private:
+    struct Scheduled {
+        Time when;
+        int priority;
+        std::uint64_t sequence;
+        std::uint64_t id;
+        bool daemon;
+        EventFn fn;
+
+        bool operator>(const Scheduled& other) const {
+            if (when != other.when) return when > other.when;
+            if (priority != other.priority) return priority > other.priority;
+            return sequence > other.sequence;
+        }
+    };
+
+    EventHandle Schedule(Time when, EventFn fn, EventPriority priority,
+                         bool daemon);
+    bool PopNext(Scheduled& out);
+
+    std::priority_queue<Scheduled, std::vector<Scheduled>,
+                        std::greater<Scheduled>> queue_;
+    std::vector<std::uint64_t> cancelled_;  // sorted set of cancelled ids
+    Time now_ = 0;
+    std::uint64_t next_sequence_ = 1;
+    std::uint64_t live_events_ = 0;
+    std::uint64_t daemon_events_ = 0;
+    std::uint64_t events_fired_ = 0;
+};
+
+/**
+ * A clock domain derived from the kernel clock. Converts cycle counts to
+ * Time spans and aligns times to the next rising edge, so 150/125/180/166
+ * MHz role clocks (Table 1) can coexist exactly.
+ */
+class ClockDomain {
+  public:
+    ClockDomain() = default;
+    explicit ClockDomain(Frequency frequency) : period_(frequency.Period()) {}
+
+    Time period() const { return period_; }
+
+    /** Span of `cycles` clock cycles. */
+    Time Cycles(std::int64_t cycles) const { return period_ * cycles; }
+
+    /** The first rising-edge time >= `t`. */
+    Time NextEdge(Time t) const {
+        if (period_ <= 0) return t;
+        const Time remainder = t % period_;
+        return remainder == 0 ? t : t + (period_ - remainder);
+    }
+
+    /** Whole cycles elapsed in `span` (floor). */
+    std::int64_t CyclesIn(Time span) const {
+        return period_ > 0 ? span / period_ : 0;
+    }
+
+  private:
+    Time period_ = 0;
+};
+
+}  // namespace catapult::sim

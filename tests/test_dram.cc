@@ -1,0 +1,106 @@
+// Unit tests for the DDR3 DRAM controller model (§2.1, §3.2).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "shell/dram_controller.h"
+#include "sim/simulator.h"
+
+namespace catapult::shell {
+namespace {
+
+TEST(DramController, CapacityBandwidthTradeoff) {
+    sim::Simulator sim;
+    // §2.1: dual-rank 8 GB at DDR3-1333, or 4 GB at DDR3-1600.
+    DramController::Config dual;
+    dual.mode = DramMode::kDualRank1333;
+    DramController::Config single;
+    single.mode = DramMode::kSingleRank1600;
+
+    DramController a(&sim, Rng(1), dual);
+    DramController b(&sim, Rng(2), single);
+    EXPECT_GT(a.Capacity(), b.Capacity());
+    EXPECT_LT(a.PeakBandwidth().bits_per_second(),
+              b.PeakBandwidth().bits_per_second());
+}
+
+TEST(DramController, BoardTotalCapacityMatchesPaper) {
+    sim::Simulator sim;
+    DramController channel(&sim, Rng(1));
+    // Two channels x 4 GB = the board's 8 GB (§2.1).
+    EXPECT_EQ(2 * channel.Capacity(), GiB(8));
+}
+
+TEST(DramController, TransferCompletesWithLatencyAndBandwidth) {
+    sim::Simulator sim;
+    DramController dram(&sim, Rng(1));
+    Time done = -1;
+    dram.Transfer(MiB(1), [&](bool ok) {
+        EXPECT_TRUE(ok);
+        done = sim.Now();
+    });
+    sim.Run();
+    EXPECT_EQ(done, dram.TransferTime(MiB(1)));
+    // ~1 MiB at ~8.5 GB/s effective: on the order of 120 us.
+    EXPECT_GT(done, Microseconds(80));
+    EXPECT_LT(done, Microseconds(250));
+}
+
+TEST(DramController, QueuedTransfersAreFifo) {
+    sim::Simulator sim;
+    DramController dram(&sim, Rng(1));
+    std::vector<int> order;
+    dram.Transfer(KiB(64), [&](bool) { order.push_back(0); });
+    dram.Transfer(KiB(1), [&](bool) { order.push_back(1); });
+    EXPECT_EQ(dram.QueueDepth(), 1u);  // one queued behind the active one
+    sim.Run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(DramController, SingleBitErrorsCorrectedAndCounted) {
+    sim::Simulator sim;
+    DramController::Config config;
+    config.single_bit_error_rate = 1.0;  // every transfer
+    DramController dram(&sim, Rng(1), config);
+    bool ok = false;
+    dram.Transfer(KiB(4), [&](bool success) { ok = success; });
+    sim.Run();
+    EXPECT_TRUE(ok);  // corrected by ECC, transfer succeeds
+    EXPECT_EQ(dram.status().single_bit_errors, 1u);
+}
+
+TEST(DramController, DoubleBitErrorsFailTransfer) {
+    sim::Simulator sim;
+    DramController::Config config;
+    config.double_bit_error_rate = 1.0;
+    DramController dram(&sim, Rng(1), config);
+    bool ok = true;
+    dram.Transfer(KiB(4), [&](bool success) { ok = success; });
+    sim.Run();
+    EXPECT_FALSE(ok);  // uncorrectable (§3.2: double-bit detection)
+    EXPECT_EQ(dram.status().double_bit_errors, 1u);
+}
+
+TEST(DramController, CalibrationFailureFailsTransfers) {
+    sim::Simulator sim;
+    DramController dram(&sim, Rng(1));
+    dram.set_calibrated(false);
+    bool ok = true;
+    dram.Transfer(KiB(4), [&](bool success) { ok = success; });
+    sim.Run();
+    EXPECT_FALSE(ok);
+    EXPECT_FALSE(dram.status().calibrated);
+}
+
+TEST(DramController, ModelReloadWorstCaseBound) {
+    // §4.3: reloading all 2,014 M20K RAMs (5.03 MB) from DDR3-1333
+    // takes "up to 250 us" — dual-channel streaming at near-peak.
+    const Bytes all_m20k = 2'014ll * 20'480 / 8;
+    const Bandwidth dual_channel = Bandwidth::MegabytesPerSecond(2 * 10'667);
+    const Time reload = dual_channel.SerializationTime(all_m20k);
+    EXPECT_LT(reload, Microseconds(250));
+    EXPECT_GT(reload, Microseconds(200));
+}
+
+}  // namespace
+}  // namespace catapult::shell

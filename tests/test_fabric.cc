@@ -1,0 +1,223 @@
+// Unit + property tests for the torus topology and pod fabric (§2.2).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fabric/catapult_fabric.h"
+#include "fabric/torus_topology.h"
+#include "sim/simulator.h"
+
+namespace catapult::fabric {
+namespace {
+
+using shell::Port;
+
+TEST(TorusTopology, CatapultPodIsSixByEight) {
+    const TorusTopology torus;
+    EXPECT_EQ(torus.rows(), 6);
+    EXPECT_EQ(torus.cols(), 8);
+    EXPECT_EQ(torus.node_count(), 48);  // §2.2: 48 servers per pod
+}
+
+TEST(TorusTopology, CoordRoundTrip) {
+    const TorusTopology torus;
+    for (int i = 0; i < torus.node_count(); ++i) {
+        EXPECT_EQ(torus.IndexOf(torus.CoordOf(i)), i);
+    }
+}
+
+TEST(TorusTopology, NeighborWraparound) {
+    const TorusTopology torus;
+    // Node 0 = (row 0, col 0).
+    EXPECT_EQ(torus.NeighborOf(0, Port::kEast), 1);
+    EXPECT_EQ(torus.NeighborOf(0, Port::kWest), 7);
+    EXPECT_EQ(torus.NeighborOf(0, Port::kSouth), 8);
+    EXPECT_EQ(torus.NeighborOf(0, Port::kNorth), 40);
+}
+
+TEST(TorusTopology, NeighborSymmetryProperty) {
+    const TorusTopology torus;
+    for (int i = 0; i < torus.node_count(); ++i) {
+        for (const Port port : {Port::kNorth, Port::kSouth, Port::kEast,
+                                Port::kWest}) {
+            const int j = torus.NeighborOf(i, port);
+            EXPECT_EQ(torus.NeighborOf(j, shell::Opposite(port)), i)
+                << "node " << i << " port " << ToString(port);
+        }
+    }
+}
+
+TEST(TorusTopology, HopCountBounds) {
+    const TorusTopology torus;
+    for (int a = 0; a < torus.node_count(); ++a) {
+        for (int b = 0; b < torus.node_count(); ++b) {
+            const int hops = torus.HopCount(a, b);
+            if (a == b) {
+                EXPECT_EQ(hops, 0);
+            } else {
+                EXPECT_GE(hops, 1);
+                // Max = 4 (east/west) + 3 (north/south) on a 6x8 torus.
+                EXPECT_LE(hops, 7);
+            }
+            EXPECT_EQ(hops, torus.HopCount(b, a));
+        }
+    }
+}
+
+TEST(TorusTopology, NextHopConvergesToDestination) {
+    // Property: following NextHop repeatedly reaches the destination in
+    // exactly HopCount steps, for every (src, dst) pair.
+    const TorusTopology torus;
+    for (int src = 0; src < torus.node_count(); ++src) {
+        for (int dst = 0; dst < torus.node_count(); ++dst) {
+            if (src == dst) continue;
+            int at = src;
+            int steps = 0;
+            while (at != dst && steps <= torus.node_count()) {
+                at = torus.NeighborOf(at, torus.NextHop(at, dst));
+                ++steps;
+            }
+            EXPECT_EQ(at, dst);
+            EXPECT_EQ(steps, torus.HopCount(src, dst));
+        }
+    }
+}
+
+TEST(TorusTopology, RingAlongRowWraps) {
+    const TorusTopology torus;
+    const auto ring = torus.RingAlongRow(torus.IndexOf({2, 5}), 8);
+    ASSERT_EQ(ring.size(), 8u);
+    // All in row 2, consecutive columns mod 8.
+    for (int k = 0; k < 8; ++k) {
+        const TorusCoord c = torus.CoordOf(ring[static_cast<std::size_t>(k)]);
+        EXPECT_EQ(c.row, 2);
+        EXPECT_EQ(c.col, (5 + k) % 8);
+    }
+}
+
+TEST(TorusTopology, RoutingTableCoversAllDestinations) {
+    const TorusTopology torus;
+    shell::RoutingTable table;
+    torus.BuildRoutingTable(0, 100, table);
+    EXPECT_EQ(table.size(), 47u);
+    Port out = Port::kRole;
+    EXPECT_TRUE(table.Lookup(101, out));
+    EXPECT_FALSE(table.Lookup(100, out));  // self has no route
+}
+
+class FabricTest : public ::testing::Test {
+  protected:
+    sim::Simulator sim_;
+    std::unique_ptr<CatapultFabric> fabric_;
+
+    void Build(CatapultFabric::Config config = {}) {
+        fabric_ = std::make_unique<CatapultFabric>(&sim_, Rng(99), config);
+        fabric_->InstallTorusRoutes();
+        for (int i = 0; i < fabric_->node_count(); ++i) {
+            fabric_->shell(i).ReleaseRxHalt();
+        }
+    }
+};
+
+TEST_F(FabricTest, BuildsFortyEightNodes) {
+    Build();
+    EXPECT_EQ(fabric_->node_count(), 48);
+    // 2 cables per node (east + south ownership) = 96 per pod.
+    EXPECT_EQ(fabric_->cables().size(), 96u);
+    EXPECT_EQ(fabric_->failed_cards(), 0);
+    EXPECT_EQ(fabric_->defective_links(), 0);
+}
+
+TEST_F(FabricTest, AllLinksConnectedAndLocked) {
+    Build();
+    for (int i = 0; i < fabric_->node_count(); ++i) {
+        for (const Port port : {Port::kNorth, Port::kSouth, Port::kEast,
+                                Port::kWest}) {
+            EXPECT_TRUE(fabric_->shell(i).link(port).connected());
+            EXPECT_TRUE(fabric_->shell(i).link(port).locked());
+        }
+    }
+}
+
+TEST_F(FabricTest, PacketCrossesPodCornerToCorner) {
+    Build();
+    // Node 0 role -> node 47 role: 4 + 3 hops through the torus.
+    class Sink : public shell::Role {
+      public:
+        void OnPacket(shell::PacketPtr p) override { got.push_back(std::move(p)); }
+        std::string RoleName() const override { return "sink"; }
+        std::vector<shell::PacketPtr> got;
+    };
+    Sink sink;
+    fabric_->shell(47).SetRole(&sink);
+    fabric_->shell(0).SendFromRole(shell::MakePacket(
+        shell::PacketType::kScoringRequest, fabric_->GlobalId(0),
+        fabric_->GlobalId(47), 6'500));
+    sim_.Run();
+    ASSERT_EQ(sink.got.size(), 1u);
+}
+
+TEST_F(FabricTest, EveryPairRoutes) {
+    Build();
+    // Property: a probe from every node to every 7th node arrives.
+    class CountingRole : public shell::Role {
+      public:
+        void OnPacket(shell::PacketPtr) override { ++count; }
+        std::string RoleName() const override { return "count"; }
+        int count = 0;
+    };
+    std::vector<std::unique_ptr<CountingRole>> roles;
+    for (int i = 0; i < 48; ++i) {
+        roles.push_back(std::make_unique<CountingRole>());
+        fabric_->shell(i).SetRole(roles.back().get());
+    }
+    int sent = 0;
+    for (int src = 0; src < 48; ++src) {
+        for (int dst = (src + 1) % 48; dst != src; dst = (dst + 7) % 48) {
+            fabric_->shell(src).SendFromRole(shell::MakePacket(
+                shell::PacketType::kScoringRequest, fabric_->GlobalId(src),
+                fabric_->GlobalId(dst), 128));
+            ++sent;
+        }
+    }
+    sim_.Run();
+    int received = 0;
+    for (const auto& role : roles) received += role->count;
+    EXPECT_EQ(received, sent);
+}
+
+TEST_F(FabricTest, IntegrationDefectRatesMatchDeployment) {
+    // §2.3: 0.4% card failures, 0.03% defective links at integration.
+    // With deterministic seeds over a large virtual deployment the
+    // binomial draw should land near the expectation.
+    CatapultFabric::Config config;
+    config.card_failure_rate = 0.004;
+    config.cable_defect_rate = 0.0003;
+    int failed_cards = 0;
+    int bad_links = 0;
+    int pods = 34;
+    sim::Simulator sim;
+    Rng rng(2023);
+    for (int p = 0; p < pods; ++p) {
+        config.node_base = static_cast<shell::NodeId>(p * 48);
+        CatapultFabric pod(&sim, rng.Fork(), config);
+        failed_cards += pod.failed_cards();
+        bad_links += pod.defective_links();
+    }
+    // 1,632 cards at 0.4% -> ~6.5 expected; 3,264 links at 0.03% -> ~1.
+    EXPECT_GE(failed_cards, 1);
+    EXPECT_LE(failed_cards, 18);
+    EXPECT_LE(bad_links, 6);
+}
+
+TEST_F(FabricTest, RunTimeCableDefectBreaksLink) {
+    Build();
+    fabric_->InjectCableDefect(0, Port::kEast);
+    EXPECT_FALSE(fabric_->shell(0).link(Port::kEast).locked());
+    EXPECT_FALSE(fabric_->shell(1).link(Port::kWest).locked());
+    const auto health = fabric_->shell(0).CollectHealth();
+    EXPECT_TRUE(health.link_error[2]);
+}
+
+}  // namespace
+}  // namespace catapult::fabric

@@ -1,0 +1,145 @@
+// Unit tests for the Feature Extraction stage (§4.4).
+
+#include <gtest/gtest.h>
+
+#include "rank/document_generator.h"
+#include "rank/feature_extraction.h"
+#include "rank/feature_space.h"
+
+namespace catapult::rank {
+namespace {
+
+TEST(FeatureExtraction, FortyThreeStateMachines) {
+    // §4.4: "We currently implement 43 unique feature extraction state
+    // machines, with up to 4,484 features."
+    const auto& descriptors = FeatureExtractor::Descriptors();
+    EXPECT_EQ(descriptors.size(), 43u);
+    std::uint32_t total = 0;
+    for (const auto& d : descriptors) total += d.feature_count;
+    EXPECT_EQ(total, kDynamicFeatureCount);
+    EXPECT_EQ(kDynamicFeatureCount, 4'484u);
+}
+
+TEST(FeatureExtraction, FeatureIdsArePackedAndDisjoint) {
+    std::uint32_t next = 0;
+    for (const auto& d : FeatureExtractor::Descriptors()) {
+        EXPECT_EQ(d.feature_base, next);
+        next += d.feature_count;
+    }
+    EXPECT_EQ(next, kDynamicFeatureCount);
+}
+
+TEST(FeatureExtraction, DeterministicAcrossRuns) {
+    DocumentGenerator generator(3);
+    const CompressedRequest request = generator.Next();
+    FeatureExtractor extractor;
+    FeatureStore a, b;
+    extractor.Extract(request, a);
+    extractor.Extract(request, b);
+    EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(FeatureExtraction, ExtractorsAreInterchangeable) {
+    // Two extractor instances produce identical features — the basis
+    // for software/FPGA score identity (§4).
+    DocumentGenerator generator(3);
+    const CompressedRequest request = generator.Next();
+    FeatureExtractor e1, e2;
+    FeatureStore a, b;
+    e1.Extract(request, a);
+    e2.Extract(request, b);
+    EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(FeatureExtraction, EmitsNonZeroFeatures) {
+    DocumentGenerator generator(5);
+    const CompressedRequest request = generator.Next();
+    FeatureExtractor extractor;
+    FeatureStore store;
+    extractor.Extract(request, store);
+    // A realistic document lights up a meaningful share of the space.
+    EXPECT_GT(store.NonZeroCount(), 100u);
+    EXPECT_LT(store.NonZeroCount(), kFeatureUniverse);
+}
+
+TEST(FeatureExtraction, EmptyDocumentEmitsNothingDynamic) {
+    CompressedRequest request;
+    request.tuple_count = 0;
+    request.query.term_count = 3;
+    FeatureExtractor extractor;
+    FeatureStore store;
+    extractor.Extract(request, store);
+    for (std::uint32_t id = 0; id < kDynamicFeatureCount; ++id) {
+        EXPECT_EQ(store.Get(id), 0.0f);
+    }
+}
+
+TEST(FeatureExtraction, SoftwareFeaturesRemapped) {
+    CompressedRequest request;
+    request.tuple_count = 0;
+    request.software_features.push_back({60'123, 2.5f});
+    FeatureExtractor extractor;
+    FeatureStore store;
+    extractor.Extract(request, store);
+    EXPECT_EQ(store.Get(SoftwareFeatureSlot(60'123)), 2.5f);
+}
+
+TEST(FeatureExtraction, CountOccurrencesCountsHits) {
+    // Synthetic request with known tuples requires a direct FSM test.
+    const auto& descriptors = FeatureExtractor::Descriptors();
+    const FsmDescriptor& count_fsm = descriptors[0];
+    ASSERT_EQ(count_fsm.kind, FsmKind::kCountOccurrences);
+
+    FeatureFsm fsm(count_fsm);
+    CompressedRequest request;
+    request.document_length = 100;
+    // Three hits for (stream 0, term 0), one for (stream 1, term 2).
+    HitTuple t1{.delta = 5, .term = 0, .stream = 0, .properties = 0};
+    HitTuple t2{.delta = 3, .term = 0, .stream = 0, .properties = 0};
+    HitTuple t3{.delta = 9, .term = 0, .stream = 0, .properties = 0};
+    HitTuple t4{.delta = 2, .term = 2, .stream = 1, .properties = 0};
+    std::uint32_t position = 0;
+    for (const auto& t : {t1, t2, t3, t4}) {
+        position += t.delta;
+        fsm.Consume(t, position);
+    }
+    FeatureStore store;
+    fsm.Emit(request, store);
+    // Cell (stream 0, term 0) has 3 values per cell; primary first.
+    EXPECT_EQ(store.Get(count_fsm.feature_base + 0), 3.0f);
+    // Cell (stream 1, term 2): cell index = 1*10 + 2 = 12, vpc = 3.
+    EXPECT_EQ(store.Get(count_fsm.feature_base + 12 * 3), 1.0f);
+}
+
+TEST(FeatureExtraction, ServiceTimeScalesWithTuples) {
+    FeatureExtractor extractor;
+    const Time small = extractor.ServiceTime(100u);
+    const Time large = extractor.ServiceTime(10'000u);
+    EXPECT_GT(large, small);
+    // Linear-ish scaling.
+    const double ratio = static_cast<double>(large) / static_cast<double>(small);
+    EXPECT_GT(ratio, 5.0);
+}
+
+TEST(FeatureExtraction, AverageDocumentNearMacropipelineBudget) {
+    // §4.2: macropipeline stages target <= 8 us. FE, the bottleneck
+    // stage, should be in that neighbourhood for an average (~2,400
+    // tuple) document.
+    FeatureExtractor extractor;
+    const Time t = extractor.ServiceTime(2'400u);
+    EXPECT_GT(t, Microseconds(4));
+    EXPECT_LT(t, Microseconds(16));
+}
+
+TEST(FeatureStore, NonZeroCountAndClear) {
+    FeatureStore store;
+    EXPECT_EQ(store.NonZeroCount(), 0u);
+    store.Set(0, 1.0f);
+    store.Set(100, 2.0f);
+    EXPECT_EQ(store.NonZeroCount(), 2u);
+    store.Clear();
+    EXPECT_EQ(store.NonZeroCount(), 0u);
+}
+
+}  // namespace
+}  // namespace catapult::rank

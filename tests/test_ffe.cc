@@ -1,0 +1,329 @@
+// Unit + property tests for the FFE stack: expressions, compiler,
+// metafeature splitting, thread assignment, and processor timing (§4.5).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rank/ffe/compiler.h"
+#include "rank/ffe/expression.h"
+#include "rank/ffe/processor.h"
+
+namespace catapult::rank::ffe {
+namespace {
+
+FeatureStore MakeStore() {
+    FeatureStore store;
+    for (std::uint32_t i = 0; i < kDynamicFeatureCount; i += 3) {
+        store.Set(i, static_cast<float>(i % 17) * 0.25f);
+    }
+    return store;
+}
+
+TEST(Expression, LeafEvaluation) {
+    FeatureStore store;
+    store.Set(5, 3.5f);
+    EXPECT_EQ(MakeConst(2.0f)->Evaluate(store), 2.0f);
+    EXPECT_EQ(MakeFeature(5)->Evaluate(store), 3.5f);
+}
+
+TEST(Expression, ArithmeticOps) {
+    FeatureStore store;
+    auto two = [] { return MakeConst(2.0f); };
+    auto three = [] { return MakeConst(3.0f); };
+    EXPECT_EQ(MakeBinary(OpCode::kAdd, two(), three())->Evaluate(store), 5.0f);
+    EXPECT_EQ(MakeBinary(OpCode::kSub, two(), three())->Evaluate(store), -1.0f);
+    EXPECT_EQ(MakeBinary(OpCode::kMul, two(), three())->Evaluate(store), 6.0f);
+    EXPECT_EQ(MakeBinary(OpCode::kMax, two(), three())->Evaluate(store), 3.0f);
+    EXPECT_EQ(MakeBinary(OpCode::kMin, two(), three())->Evaluate(store), 2.0f);
+    EXPECT_EQ(MakeBinary(OpCode::kCmpGt, three(), two())->Evaluate(store), 1.0f);
+    EXPECT_EQ(MakeBinary(OpCode::kCmpGt, two(), three())->Evaluate(store), 0.0f);
+}
+
+TEST(Expression, ComplexOps) {
+    FeatureStore store;
+    EXPECT_FLOAT_EQ(
+        MakeBinary(OpCode::kDiv, MakeConst(7.0f), MakeConst(2.0f))
+            ->Evaluate(store),
+        3.5f);
+    // Division by zero saturates to 0 (hardware behaviour).
+    EXPECT_EQ(MakeBinary(OpCode::kDiv, MakeConst(7.0f), MakeConst(0.0f))
+                  ->Evaluate(store),
+              0.0f);
+    EXPECT_FLOAT_EQ(MakeUnary(OpCode::kLn, MakeConst(std::exp(1.0f)))
+                        ->Evaluate(store),
+                    1.0f);
+    EXPECT_FLOAT_EQ(MakeUnary(OpCode::kExp, MakeConst(0.0f))->Evaluate(store),
+                    1.0f);
+    EXPECT_EQ(MakeUnary(OpCode::kFloatToInt, MakeConst(2.9f))->Evaluate(store),
+              2.0f);
+    EXPECT_EQ(MakeUnary(OpCode::kFloatToInt, MakeConst(-2.9f))->Evaluate(store),
+              -2.0f);
+}
+
+TEST(Expression, SelectEvaluatesAllThenMuxes) {
+    FeatureStore store;
+    auto select = MakeSelect(MakeConst(1.0f), MakeConst(10.0f),
+                             MakeConst(20.0f));
+    EXPECT_EQ(select->Evaluate(store), 10.0f);
+    auto select2 = MakeSelect(MakeConst(0.0f), MakeConst(10.0f),
+                              MakeConst(20.0f));
+    EXPECT_EQ(select2->Evaluate(store), 20.0f);
+}
+
+TEST(Expression, OpCountAndComplexCount) {
+    auto e = MakeBinary(OpCode::kAdd, MakeUnary(OpCode::kLn, MakeFeature(1)),
+                        MakeConst(1.0f));
+    EXPECT_EQ(e->OpCount(), 4);
+    EXPECT_EQ(e->ComplexOpCount(), 1);
+    EXPECT_EQ(e->Depth(), 3);
+}
+
+TEST(Expression, CloneIsDeepAndEqual) {
+    ExpressionGenerator generator(3);
+    const ExprPtr original = generator.Generate();
+    const ExprPtr copy = original->Clone();
+    const FeatureStore store = MakeStore();
+    EXPECT_EQ(original->Evaluate(store), copy->Evaluate(store));
+    EXPECT_EQ(original->OpCount(), copy->OpCount());
+}
+
+TEST(ExpressionGenerator, SizesSpanSmallToLarge) {
+    // §4.5: FFEs range "from very simple ... to large and complex
+    // (thousands of operations)".
+    ExpressionGenerator generator(11);
+    int small = 0, large = 0;
+    for (int i = 0; i < 3'000; ++i) {
+        const int ops = generator.Generate()->OpCount();
+        if (ops <= 50) ++small;
+        if (ops >= 500) ++large;
+    }
+    EXPECT_GT(small, 2'000);
+    EXPECT_GT(large, 5);
+}
+
+TEST(ExpressionGenerator, TargetSizeApproximate) {
+    ExpressionGenerator generator(13);
+    const ExprPtr e = generator.GenerateWithSize(200);
+    EXPECT_GT(e->OpCount(), 100);
+    EXPECT_LE(e->OpCount(), 300);  // budget is approximate by design
+}
+
+TEST(Compiler, InterpreterMatchesAstExactly) {
+    // The load-bearing §4 property: compiled-program execution equals
+    // direct AST evaluation bit-for-bit, across many random expressions.
+    ExpressionGenerator generator(17);
+    FfeCompiler compiler;
+    const FeatureStore store = MakeStore();
+    for (int i = 0; i < 300; ++i) {
+        const ExprPtr expr = generator.Generate();
+        const Program program = compiler.Compile(*expr, kFfeOutputBase);
+        const float direct = expr->Evaluate(store);
+        const float interpreted = FfeProcessor::Execute(program, store);
+        EXPECT_EQ(direct, interpreted) << "expression " << i;
+    }
+}
+
+TEST(Compiler, ProgramMetadata) {
+    FfeCompiler compiler;
+    auto e = MakeBinary(OpCode::kAdd, MakeUnary(OpCode::kLn, MakeFeature(1)),
+                        MakeConst(1.0f));
+    const Program p = compiler.Compile(*e, 42);
+    EXPECT_EQ(p.output_slot, 42u);
+    EXPECT_EQ(p.InstructionCount(), 4);
+    EXPECT_EQ(p.complex_ops, 1);
+    // Critical path: ldf(2) + ln(24) + add(4) = 30.
+    EXPECT_EQ(p.serial_latency, 30);
+}
+
+TEST(Compiler, SplitPreservesSemantics) {
+    // §4.5: oversized expressions split across FPGAs via metafeatures;
+    // upstream parts + rewritten remainder must equal the original.
+    ExpressionGenerator generator(19);
+    FfeCompiler::Config config;
+    config.split_threshold_ops = 64;
+    config.split_chunk_ops = 32;
+    FfeCompiler compiler(config);
+    FeatureStore store = MakeStore();
+
+    for (int i = 0; i < 20; ++i) {
+        const ExprPtr original = generator.GenerateWithSize(400);
+        const float expected = original->Evaluate(store);
+
+        ExprPtr work = original->Clone();
+        std::uint32_t next_slot = 0;
+        const auto parts = compiler.SplitForMetafeatures(*work, next_slot);
+        EXPECT_FALSE(parts.empty());
+        EXPECT_LE(work->OpCount(), config.split_threshold_ops + 1);
+
+        // Evaluate upstream parts into their metafeature slots, then the
+        // remainder.
+        FeatureStore staged = store;
+        for (const auto& part : parts) {
+            staged.Set(part.slot, part.expr->Evaluate(staged));
+        }
+        EXPECT_EQ(work->Evaluate(staged), expected) << "expression " << i;
+    }
+}
+
+TEST(Compiler, SmallExpressionsNotSplit) {
+    FfeCompiler compiler;
+    ExpressionGenerator generator(23);
+    ExprPtr small = generator.GenerateWithSize(20);
+    std::uint32_t next_slot = 0;
+    const auto parts = compiler.SplitForMetafeatures(*small, next_slot);
+    EXPECT_TRUE(parts.empty());
+    EXPECT_EQ(next_slot, 0u);
+}
+
+TEST(ThreadAssignment, LongestFirstSlotZero) {
+    // §4.5: "The assembler maps the expressions with the longest
+    // expected latency to Thread Slot 0 on all cores, then fills in
+    // Slot 1 ..."
+    std::vector<Program> programs(8);
+    for (int i = 0; i < 8; ++i) {
+        programs[static_cast<std::size_t>(i)].serial_latency = 100 - i * 10;
+    }
+    const ThreadAssignment assignment = AssignThreads(programs, 2, 4);
+    // Slot 0 on cores 0,1 get programs 0,1 (longest), slot 1 gets 2,3...
+    EXPECT_EQ(assignment.thread_queues[0][0], (std::vector<int>{0}));
+    EXPECT_EQ(assignment.thread_queues[1][0], (std::vector<int>{1}));
+    EXPECT_EQ(assignment.thread_queues[0][1], (std::vector<int>{2}));
+    EXPECT_EQ(assignment.thread_queues[1][3], (std::vector<int>{7}));
+}
+
+TEST(ThreadAssignment, OverflowAppendsRoundRobin) {
+    std::vector<Program> programs(10);
+    for (int i = 0; i < 10; ++i) {
+        programs[static_cast<std::size_t>(i)].serial_latency = 1000 - i;
+    }
+    const ThreadAssignment assignment = AssignThreads(programs, 2, 4);
+    // 8 slots; programs 8 and 9 append back at slot 0.
+    EXPECT_EQ(assignment.thread_queues[0][0], (std::vector<int>{0, 8}));
+    EXPECT_EQ(assignment.thread_queues[1][0], (std::vector<int>{1, 9}));
+}
+
+TEST(ThreadAssignment, AllProgramsAssignedExactlyOnce) {
+    ExpressionGenerator generator(29);
+    FfeCompiler compiler;
+    std::vector<Program> programs;
+    for (int i = 0; i < 500; ++i) {
+        programs.push_back(
+            compiler.Compile(*generator.Generate(), kFfeOutputBase));
+    }
+    const ThreadAssignment assignment = AssignThreads(programs, 60, 4);
+    std::vector<int> seen(programs.size(), 0);
+    for (const auto& core : assignment.thread_queues) {
+        for (const auto& slot : core) {
+            for (int index : slot) ++seen[static_cast<std::size_t>(index)];
+        }
+    }
+    for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(FfeProcessor, SixtyCoresFourThreadsSixPerCluster) {
+    const FfeProcessor processor;
+    EXPECT_EQ(processor.config().core_count, 60);       // §4.5
+    EXPECT_EQ(processor.config().threads_per_core, 4);  // §4.5
+    EXPECT_EQ(processor.config().cores_per_cluster, 6); // §4.5
+}
+
+TEST(FfeProcessor, ExecuteAllWritesOutputSlots) {
+    ExpressionGenerator generator(31);
+    FfeCompiler compiler;
+    std::vector<Program> programs;
+    for (int i = 0; i < 50; ++i) {
+        programs.push_back(compiler.Compile(
+            *generator.Generate(), kFfeOutputBase + static_cast<std::uint32_t>(i)));
+    }
+    FfeProcessor processor;
+    processor.LoadPrograms(programs);
+    FeatureStore store = MakeStore();
+    processor.ExecuteAll(store);
+    int non_zero = 0;
+    for (int i = 0; i < 50; ++i) {
+        if (store.Get(kFfeOutputBase + static_cast<std::uint32_t>(i)) != 0.0f) {
+            ++non_zero;
+        }
+    }
+    EXPECT_GT(non_zero, 10);
+}
+
+TEST(FfeProcessor, TimingBoundsAreConsistent) {
+    ExpressionGenerator generator(37);
+    FfeCompiler compiler;
+    std::vector<Program> programs;
+    std::int64_t total_instructions = 0;
+    for (int i = 0; i < 1'000; ++i) {
+        programs.push_back(compiler.Compile(*generator.Generate(),
+                                            kFfeOutputBase));
+        total_instructions += programs.back().InstructionCount();
+    }
+    FfeProcessor processor;
+    processor.LoadPrograms(programs);
+    const auto breakdown = processor.Breakdown();
+    // Issue bound >= perfectly balanced instructions per core.
+    EXPECT_GE(breakdown.max_core_issue_cycles, total_instructions / 60);
+    // Document cycles covers every bound plus overhead.
+    EXPECT_GE(processor.DocumentCycles(),
+              breakdown.max_core_issue_cycles);
+    EXPECT_GE(processor.DocumentCycles(),
+              breakdown.max_thread_serial_cycles);
+    EXPECT_GE(processor.DocumentCycles(),
+              breakdown.max_cluster_complex_cycles);
+    EXPECT_EQ(processor.TotalInstructions(), total_instructions);
+}
+
+TEST(FfeProcessor, MoreCoresProcessFaster) {
+    ExpressionGenerator generator(41);
+    FfeCompiler compiler;
+    std::vector<Program> programs;
+    for (int i = 0; i < 2'000; ++i) {
+        programs.push_back(compiler.Compile(*generator.Generate(),
+                                            kFfeOutputBase));
+    }
+    FfeProcessor::Config small_config;
+    small_config.core_count = 15;
+    FfeProcessor small(small_config);
+    small.LoadPrograms(programs);
+    FfeProcessor big;  // 60 cores
+    big.LoadPrograms(programs);
+    EXPECT_LT(big.DocumentCycles(), small.DocumentCycles());
+}
+
+TEST(FfeProcessor, StageWithinMacropipelineBudget) {
+    // A production-sized model partition (§4.2: stages target <= 8 us;
+    // FFE runs at 125 MHz -> 1,000 cycles). Long expressions must first
+    // be split across the chips via metafeatures (§4.5) — that splitting
+    // is exactly what keeps any one thread's dependency chain bounded.
+    ExpressionGenerator generator(43);
+    FfeCompiler compiler;
+    std::vector<Program> programs;
+    std::uint32_t next_meta = 0;
+    for (int i = 0; i < 1'200; ++i) {
+        ExprPtr expr = generator.Generate();
+        for (auto& part : compiler.SplitForMetafeatures(*expr, next_meta)) {
+            programs.push_back(compiler.Compile(*part.expr, part.slot));
+        }
+        programs.push_back(compiler.Compile(*expr, kFfeOutputBase));
+    }
+    FfeProcessor processor;
+    processor.LoadPrograms(programs);
+    EXPECT_LT(processor.DocumentServiceTime(), Microseconds(12));
+    EXPECT_GT(processor.DocumentServiceTime(), Microseconds(1));
+}
+
+TEST(OpLatencies, ComplexOpsAreLong) {
+    const OpLatencies latencies;
+    EXPECT_GT(latencies.For(OpCode::kLn), latencies.For(OpCode::kAdd));
+    EXPECT_GT(latencies.For(OpCode::kDiv), latencies.For(OpCode::kAdd));
+    EXPECT_TRUE(IsComplexOp(OpCode::kLn));
+    EXPECT_TRUE(IsComplexOp(OpCode::kDiv));
+    EXPECT_TRUE(IsComplexOp(OpCode::kExp));
+    EXPECT_TRUE(IsComplexOp(OpCode::kFloatToInt));
+    EXPECT_FALSE(IsComplexOp(OpCode::kAdd));
+    EXPECT_FALSE(IsComplexOp(OpCode::kSelect));
+}
+
+}  // namespace
+}  // namespace catapult::rank::ffe

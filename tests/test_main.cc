@@ -1,0 +1,13 @@
+// Test entry point: silence the simulator's stderr logging so test
+// output stays readable (failure-injection tests provoke WARN spam by
+// design).
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+int main(int argc, char** argv) {
+    ::testing::InitGoogleTest(&argc, argv);
+    catapult::Logger::set_level(catapult::LogLevel::kOff);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,134 @@
+// Unit tests for the Queue Manager dispatch policy (§4.3).
+
+#include <gtest/gtest.h>
+
+#include "rank/queue_manager.h"
+
+namespace catapult::rank {
+namespace {
+
+using Kind = QueueManager::DispatchDecision::Kind;
+
+TEST(QueueManager, IdleWhenEmpty) {
+    QueueManager qm;
+    EXPECT_EQ(qm.Next(0).kind, Kind::kIdle);
+    EXPECT_EQ(qm.TotalQueued(), 0u);
+}
+
+TEST(QueueManager, FirstWorkTriggersModelLoad) {
+    QueueManager qm;
+    qm.Enqueue(3, 100, 0);
+    const auto decision = qm.Next(0);
+    EXPECT_EQ(decision.kind, Kind::kModelReload);
+    EXPECT_EQ(decision.model_id, 3u);
+    // After the reload, the entry dispatches.
+    const auto next = qm.Next(1);
+    EXPECT_EQ(next.kind, Kind::kDispatch);
+    EXPECT_EQ(next.entry, 100u);
+    EXPECT_EQ(next.model_id, 3u);
+}
+
+TEST(QueueManager, DrainsCurrentQueueBeforeSwitching) {
+    // §4.3: "QM takes documents from each queue ... When the queue is
+    // empty or when a timeout is reached, QM will switch to the next
+    // queue." Same-model work must not cause reloads.
+    QueueManager qm;
+    for (int i = 0; i < 5; ++i) {
+        qm.Enqueue(1, static_cast<QueueManager::EntryId>(i), 0);
+    }
+    qm.Enqueue(2, 99, 0);
+
+    EXPECT_EQ(qm.Next(0).kind, Kind::kModelReload);  // load model 1
+    for (int i = 0; i < 5; ++i) {
+        const auto d = qm.Next(1);
+        EXPECT_EQ(d.kind, Kind::kDispatch);
+        EXPECT_EQ(d.entry, static_cast<QueueManager::EntryId>(i));
+    }
+    // Queue 1 empty: switch to model 2.
+    const auto switch_decision = qm.Next(2);
+    EXPECT_EQ(switch_decision.kind, Kind::kModelReload);
+    EXPECT_EQ(switch_decision.model_id, 2u);
+    EXPECT_EQ(qm.Next(3).kind, Kind::kDispatch);
+    EXPECT_EQ(qm.counters().model_switches, 2u);
+}
+
+TEST(QueueManager, TimeoutForcesRotation) {
+    QueueManager::Config config;
+    config.queue_timeout = Microseconds(100);
+    QueueManager qm(config);
+    for (int i = 0; i < 100; ++i) {
+        qm.Enqueue(1, static_cast<QueueManager::EntryId>(i), 0);
+    }
+    qm.Enqueue(2, 999, 0);
+    EXPECT_EQ(qm.Next(0).kind, Kind::kModelReload);
+    // Drain within the window.
+    Time now = 0;
+    int dispatched_model1 = 0;
+    while (true) {
+        const auto d = qm.Next(now);
+        if (d.kind == Kind::kModelReload) {
+            // Timeout hit while model-1 work remains: rotated to 2.
+            EXPECT_EQ(d.model_id, 2u);
+            break;
+        }
+        ASSERT_EQ(d.kind, Kind::kDispatch);
+        ++dispatched_model1;
+        now += Microseconds(10);
+    }
+    EXPECT_GT(dispatched_model1, 0);
+    EXPECT_LT(dispatched_model1, 100);
+    EXPECT_GT(qm.counters().timeout_switches, 0u);
+}
+
+TEST(QueueManager, TimeoutIgnoredWhenOnlyQueue) {
+    QueueManager::Config config;
+    config.queue_timeout = Microseconds(1);
+    QueueManager qm(config);
+    for (int i = 0; i < 10; ++i) {
+        qm.Enqueue(1, static_cast<QueueManager::EntryId>(i), 0);
+    }
+    EXPECT_EQ(qm.Next(0).kind, Kind::kModelReload);
+    // Far past the timeout, but no other queue has work: keep draining.
+    Time now = Seconds(1);
+    for (int i = 0; i < 10; ++i) {
+        const auto d = qm.Next(now);
+        EXPECT_EQ(d.kind, Kind::kDispatch) << "i=" << i;
+        now += Seconds(1);
+    }
+    EXPECT_EQ(qm.counters().model_switches, 1u);
+}
+
+TEST(QueueManager, RoundRobinAcrossModels) {
+    QueueManager qm;
+    qm.Enqueue(1, 10, 0);
+    qm.Enqueue(2, 20, 0);
+    qm.Enqueue(3, 30, 0);
+    std::vector<std::uint32_t> reload_order;
+    Time now = 0;
+    for (int step = 0; step < 12; ++step) {
+        const auto d = qm.Next(now++);
+        if (d.kind == Kind::kModelReload) {
+            reload_order.push_back(d.model_id);
+        } else if (d.kind == Kind::kIdle) {
+            break;
+        }
+    }
+    EXPECT_EQ(reload_order, (std::vector<std::uint32_t>{1, 2, 3}));
+    EXPECT_EQ(qm.TotalQueued(), 0u);
+}
+
+TEST(QueueManager, CountersTrackActivity) {
+    QueueManager qm;
+    qm.Enqueue(1, 1, 0);
+    qm.Enqueue(1, 2, 0);
+    qm.Next(0);  // reload
+    qm.Next(1);  // dispatch
+    qm.Next(2);  // dispatch
+    EXPECT_EQ(qm.counters().enqueued, 2u);
+    EXPECT_EQ(qm.counters().dispatched, 2u);
+    EXPECT_EQ(qm.counters().model_switches, 1u);
+    EXPECT_EQ(qm.QueuedFor(1), 0u);
+}
+
+}  // namespace
+}  // namespace catapult::rank

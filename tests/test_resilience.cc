@@ -1,0 +1,204 @@
+// Resilience integration tests: failure handling, ring rotation, and
+// recovery (§1, §3.4-§3.5, §4.2).
+
+#include <gtest/gtest.h>
+
+#include "rank/document_generator.h"
+#include "service/load_generator.h"
+#include "service/stage_role.h"
+#include "service/testbed.h"
+
+namespace catapult::service {
+namespace {
+
+PodTestbed::Config FastConfig() {
+    PodTestbed::Config config;
+    config.service.models.model.expression_count = 300;
+    config.service.models.model.tree_count = 900;
+    config.fabric.device.configure_time = Milliseconds(10);
+    config.host.soft_reboot_duration = Milliseconds(200);
+    config.host.hard_reboot_duration = Milliseconds(500);
+    config.host.crash_reboot_delay = Milliseconds(50);
+    return config;
+}
+
+int InjectBatch(PodTestbed& bed, int count, std::uint64_t seed) {
+    rank::DocumentGenerator generator(seed);
+    int completed = 0;
+    for (int i = 0; i < count; ++i) {
+        rank::CompressedRequest request = generator.Next();
+        request.query.model_id = 0;
+        bed.service().Inject(i % 8, i / 8 % 16, request,
+                             [&](const ScoreResult& r) {
+                                 if (r.ok) ++completed;
+                             });
+    }
+    bed.simulator().Run();
+    return completed;
+}
+
+TEST(Resilience, LostDocumentsTimeOutDuringStageHang) {
+    PodTestbed bed(FastConfig());
+    ASSERT_TRUE(bed.DeployAndSettle());
+    // Hang the FFE0 stage logic (§3.6 lists stage hangs on untested
+    // inputs among the at-scale failures).
+    bed.service().role(1).Hang();
+
+    rank::DocumentGenerator generator(5);
+    int timeouts = 0;
+    for (int i = 0; i < 4; ++i) {
+        rank::CompressedRequest request = generator.Next();
+        request.query.model_id = 0;
+        bed.service().Inject(0, i, request, [&](const ScoreResult& r) {
+            if (!r.ok) ++timeouts;
+        });
+    }
+    bed.simulator().Run();
+    // §3.2: dropped/lost requests surface as host timeouts.
+    EXPECT_EQ(timeouts, 4);
+    EXPECT_EQ(bed.service().counters().timeouts, 4u);
+}
+
+TEST(Resilience, HealthMonitorSpotsHungRole) {
+    PodTestbed bed(FastConfig());
+    ASSERT_TRUE(bed.DeployAndSettle());
+    bed.service().role(2).Hang();
+    std::vector<mgmt::MachineReport> reports;
+    bed.health_monitor().Investigate(
+        {bed.service().RingNode(2)},
+        [&](std::vector<mgmt::MachineReport> r) { reports = std::move(r); });
+    bed.simulator().Run();
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0].fault, mgmt::FaultType::kApplicationError);
+}
+
+TEST(Resilience, InPlaceReconfigClearsHang) {
+    // §3.5: "simply reconfiguring the FPGA in-place is sufficient to
+    // resolve the hang."
+    PodTestbed bed(FastConfig());
+    ASSERT_TRUE(bed.DeployAndSettle());
+    bed.service().role(3).Hang();
+    bed.service().role(3).Unhang();  // the reconfig clears role state
+    bool ok = false;
+    bed.mapping_manager().ReconfigureInPlace(bed.service().RingNode(3),
+                                             [&](bool success) { ok = success; });
+    bed.simulator().Run();
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(InjectBatch(bed, 8, 77), 8);
+}
+
+TEST(Resilience, RingRotationMovesStageToSpare) {
+    // §4.2: the spare lets the Service Manager rotate the ring on a
+    // machine failure and keep the pipeline alive.
+    PodTestbed bed(FastConfig());
+    ASSERT_TRUE(bed.DeployAndSettle());
+    ASSERT_EQ(InjectBatch(bed, 8, 11), 8);
+
+    // Ring position 4 (Scoring0) fails.
+    const int failed_index = 4;
+    bool rotated = false;
+    bed.service().RotateRingAround(failed_index,
+                                   [&](bool ok) { rotated = ok; });
+    bed.simulator().Run();
+    ASSERT_TRUE(rotated);
+    // The spare position now hosts Scoring0; the failed slot is spare.
+    EXPECT_EQ(bed.service().StageAt(7), rank::PipelineStage::kScoring0);
+    EXPECT_EQ(bed.service().StageAt(failed_index), rank::PipelineStage::kSpare);
+
+    // Service still ranks documents after rotation.
+    EXPECT_EQ(InjectBatch(bed, 8, 13), 8);
+}
+
+TEST(Resilience, MachineRebootRecoversAndServiceContinues) {
+    PodTestbed bed(FastConfig());
+    ASSERT_TRUE(bed.DeployAndSettle());
+    ASSERT_EQ(InjectBatch(bed, 8, 17), 8);
+
+    // Surprise maintenance reboot of the FFE1 node (§3.5: the dominant
+    // real-world failure mode).
+    const int node = bed.service().RingNode(2);
+    bed.failure_injector().ScheduleMachineReboot(
+        node, bed.simulator().Now() + Milliseconds(1));
+    bed.simulator().Run();
+    EXPECT_TRUE(bed.host(node).responsive());
+
+    // After the reboot the node's FPGA came back RX-halted; the Mapping
+    // Manager reconfigures it in place to rejoin the pipeline.
+    bool ok = false;
+    bed.mapping_manager().ReconfigureInPlace(node,
+                                             [&](bool success) { ok = success; });
+    bed.simulator().Run();
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(InjectBatch(bed, 8, 19), 8);
+}
+
+TEST(Resilience, UngracefulReconfigCorruptsButIsDetected) {
+    PodTestbed bed(FastConfig());
+    ASSERT_TRUE(bed.DeployAndSettle());
+    const int node = bed.service().RingNode(3);
+    bed.failure_injector().ScheduleUngracefulReconfig(
+        node, bed.simulator().Now() + Milliseconds(1));
+    bed.simulator().Run();
+
+    // Neighbours received garbage without TX-Halt protection; the
+    // Health Monitor attributes application errors.
+    std::vector<int> suspects;
+    for (int i = 0; i < 8; ++i) suspects.push_back(bed.service().RingNode(i));
+    std::vector<mgmt::MachineReport> reports;
+    bed.health_monitor().Investigate(
+        suspects,
+        [&](std::vector<mgmt::MachineReport> r) { reports = std::move(r); });
+    bed.simulator().Run();
+    bool corruption_found = false;
+    for (const auto& report : reports) {
+        if (report.fault == mgmt::FaultType::kApplicationError) {
+            corruption_found = true;
+        }
+    }
+    EXPECT_TRUE(corruption_found);
+}
+
+TEST(Resilience, SeuStormEventuallyCorruptsRole) {
+    PodTestbed bed(FastConfig());
+    ASSERT_TRUE(bed.DeployAndSettle());
+    const int node = bed.service().RingNode(5);
+    bed.failure_injector().ScheduleSeuStorm(
+        node, bed.simulator().Now() + Milliseconds(1),
+        /*upsets_per_second=*/50'000.0);
+    bed.simulator().RunUntil(bed.simulator().Now() + Seconds(1));
+    EXPECT_TRUE(bed.fabric().device(node).role_corrupted());
+    EXPECT_TRUE(bed.fabric().shell(node).CollectHealth().application_error);
+}
+
+TEST(Resilience, EndToEndFailureHandlingLoop) {
+    // The full §3.5 loop: service notices unresponsiveness -> Health
+    // Monitor investigates -> Mapping Manager relocates (ring rotation)
+    // -> service resumes.
+    PodTestbed bed(FastConfig());
+    ASSERT_TRUE(bed.DeployAndSettle());
+
+    // The Scoring1 node's host dies hard (will need the reboot ladder).
+    const int failed_ring_index = 5;
+    const int node = bed.service().RingNode(failed_ring_index);
+    bed.host(node).CrashAndReboot("production incident");
+
+    // Aggregator notices unresponsive server, invokes the Health Monitor.
+    std::vector<mgmt::MachineReport> reports;
+    bed.health_monitor().Investigate(
+        {node},
+        [&](std::vector<mgmt::MachineReport> r) { reports = std::move(r); });
+    bed.simulator().Run();
+    ASSERT_EQ(reports.size(), 1u);
+
+    // Whatever the fault classification, rotate the ring off the node
+    // and verify service health.
+    bool rotated = false;
+    bed.service().RotateRingAround(failed_ring_index,
+                                   [&](bool ok) { rotated = ok; });
+    bed.simulator().Run();
+    ASSERT_TRUE(rotated);
+    EXPECT_EQ(InjectBatch(bed, 16, 23), 16);
+}
+
+}  // namespace
+}  // namespace catapult::service

@@ -1,0 +1,143 @@
+// Unit tests for the discrete-event kernel.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace catapult::sim {
+namespace {
+
+TEST(Simulator, FiresInTimeOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.ScheduleAt(Microseconds(3), [&] { order.push_back(3); });
+    sim.ScheduleAt(Microseconds(1), [&] { order.push_back(1); });
+    sim.ScheduleAt(Microseconds(2), [&] { order.push_back(2); });
+    sim.Run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.Now(), Microseconds(3));
+}
+
+TEST(Simulator, SameTickInsertionOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        sim.ScheduleAt(Microseconds(1), [&, i] { order.push_back(i); });
+    }
+    sim.Run();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, PriorityBreaksTies) {
+    Simulator sim;
+    std::vector<std::string> order;
+    sim.ScheduleAt(Microseconds(1), [&] { order.push_back("timeout"); },
+                   EventPriority::kTimeout);
+    sim.ScheduleAt(Microseconds(1), [&] { order.push_back("deliver"); },
+                   EventPriority::kDeliver);
+    sim.ScheduleAt(Microseconds(1), [&] { order.push_back("default"); },
+                   EventPriority::kDefault);
+    sim.Run();
+    EXPECT_EQ(order, (std::vector<std::string>{"deliver", "default", "timeout"}));
+}
+
+TEST(Simulator, ScheduleAfterUsesNow) {
+    Simulator sim;
+    Time fired_at = -1;
+    sim.ScheduleAfter(Microseconds(5), [&] {
+        sim.ScheduleAfter(Microseconds(5), [&] { fired_at = sim.Now(); });
+    });
+    sim.Run();
+    EXPECT_EQ(fired_at, Microseconds(10));
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+    Simulator sim;
+    bool fired = false;
+    const EventHandle handle =
+        sim.ScheduleAfter(Microseconds(1), [&] { fired = true; });
+    sim.Cancel(handle);
+    sim.Run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(sim.EventsFired(), 0u);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
+    Simulator sim;
+    int fired = 0;
+    const EventHandle handle =
+        sim.ScheduleAfter(Microseconds(1), [&] { ++fired; });
+    sim.Run();
+    sim.Cancel(handle);  // already fired; must be a no-op
+    sim.Cancel(handle);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+    Simulator sim;
+    int fired = 0;
+    for (int i = 1; i <= 10; ++i) {
+        sim.ScheduleAt(Microseconds(i), [&] { ++fired; });
+    }
+    sim.RunUntil(Microseconds(5));
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(sim.Now(), Microseconds(5));
+    sim.Run();
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, StepSingleEvent) {
+    Simulator sim;
+    int fired = 0;
+    sim.ScheduleAfter(1, [&] { ++fired; });
+    sim.ScheduleAfter(2, [&] { ++fired; });
+    EXPECT_TRUE(sim.Step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(sim.Step());
+    EXPECT_FALSE(sim.Step());
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 100) sim.ScheduleAfter(Nanoseconds(1), recurse);
+    };
+    sim.ScheduleAfter(0, recurse);
+    sim.Run();
+    EXPECT_EQ(depth, 100);
+}
+
+TEST(Simulator, PendingEventCount) {
+    Simulator sim;
+    const auto h1 = sim.ScheduleAfter(1, [] {});
+    sim.ScheduleAfter(2, [] {});
+    EXPECT_EQ(sim.PendingEvents(), 2u);
+    sim.Cancel(h1);
+    sim.Run();
+    EXPECT_EQ(sim.PendingEvents(), 0u);
+    EXPECT_TRUE(sim.Empty());
+}
+
+TEST(ClockDomain, CyclesAndEdges) {
+    const ClockDomain clock(Frequency::MHz(200.0));
+    EXPECT_EQ(clock.period(), Picoseconds(5'000));
+    EXPECT_EQ(clock.Cycles(1'600), Microseconds(8));
+    EXPECT_EQ(clock.NextEdge(Picoseconds(1)), Picoseconds(5'000));
+    EXPECT_EQ(clock.NextEdge(Picoseconds(5'000)), Picoseconds(5'000));
+    EXPECT_EQ(clock.CyclesIn(Microseconds(1)), 200);
+}
+
+TEST(ClockDomain, MultipleDomainsCoexist) {
+    // Table 1 stage clocks all derive exact spans from one kernel tick.
+    const ClockDomain fe(Frequency::MHz(150.0));
+    const ClockDomain ffe(Frequency::MHz(125.0));
+    EXPECT_EQ(ffe.Cycles(1000), Microseconds(8));
+    EXPECT_GT(fe.Cycles(1000), Microseconds(6));
+    EXPECT_LT(fe.Cycles(1000), Microseconds(7));
+}
+
+}  // namespace
+}  // namespace catapult::sim

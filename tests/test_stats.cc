@@ -1,0 +1,115 @@
+// Unit tests for statistics collection.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace catapult {
+namespace {
+
+TEST(RunningStat, BasicMoments) {
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+    EXPECT_EQ(s.count(), 8);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined) {
+    RunningStat a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = i * 0.7;
+        a.Add(x);
+        all.Add(x);
+    }
+    for (int i = 0; i < 70; ++i) {
+        const double x = 100 - i * 1.3;
+        b.Add(x);
+        all.Add(x);
+    }
+    a.Merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(SampleStat, ExactPercentiles) {
+    SampleStat s;
+    for (int i = 1; i <= 100; ++i) s.Add(i);
+    EXPECT_DOUBLE_EQ(s.Percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(s.Percentile(95), 95.0);
+    EXPECT_DOUBLE_EQ(s.Percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+}
+
+TEST(SampleStat, PercentileUnsortedInput) {
+    SampleStat s;
+    for (double x : {5.0, 1.0, 4.0, 2.0, 3.0}) s.Add(x);
+    EXPECT_DOUBLE_EQ(s.Median(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(SampleStat, InsertAfterQueryInvalidatesCache) {
+    SampleStat s;
+    s.Add(1.0);
+    EXPECT_DOUBLE_EQ(s.Median(), 1.0);
+    s.Add(100.0);
+    s.Add(101.0);
+    EXPECT_DOUBLE_EQ(s.Median(), 100.0);
+}
+
+TEST(SampleStat, EmptyReturnsZero) {
+    SampleStat s;
+    EXPECT_DOUBLE_EQ(s.Percentile(95), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Log2Histogram, BucketsAndCdf) {
+    Log2Histogram h;
+    // 4 values in [4, 8), 4 in [8, 16).
+    for (double x : {4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 15.0}) h.Add(x);
+    EXPECT_EQ(h.total(), 8);
+    EXPECT_NEAR(h.CumulativeFraction(8.0), 0.5, 1e-9);
+    EXPECT_NEAR(h.CumulativeFraction(16.0), 1.0, 1e-9);
+    EXPECT_NEAR(h.CumulativeFraction(1.0), 0.0, 0.01);
+}
+
+TEST(Log2Histogram, UnderflowCounted) {
+    Log2Histogram h;
+    h.Add(0.5);
+    h.Add(2.0);
+    EXPECT_EQ(h.total(), 2);
+    EXPECT_NEAR(h.CumulativeFraction(1.5), 0.5, 1e-9);
+}
+
+TEST(RateMeter, RatePerSecond) {
+    RateMeter m;
+    using namespace time_literals;
+    m.Record(0);
+    for (int i = 1; i <= 1000; ++i) m.Record(i * kMillisecond);
+    // 1001 events over 1 second.
+    EXPECT_NEAR(m.RatePerSecond(), 1001.0, 1.5);
+}
+
+TEST(RateMeter, EmptyOrInstantIsZero) {
+    RateMeter m;
+    EXPECT_DOUBLE_EQ(m.RatePerSecond(), 0.0);
+    m.Record(5);
+    EXPECT_DOUBLE_EQ(m.RatePerSecond(), 0.0);  // zero elapsed span
+}
+
+}  // namespace
+}  // namespace catapult

@@ -1,0 +1,121 @@
+// Tests for FDR trace replay (§3.6): archived documents replay to
+// identical scores from the Flight Data Recorder's window.
+
+#include <gtest/gtest.h>
+
+#include "rank/document_generator.h"
+#include "service/testbed.h"
+#include "service/trace_replay.h"
+
+namespace catapult::service {
+namespace {
+
+PodTestbed::Config ReplayConfig() {
+    PodTestbed::Config config;
+    config.service.compute_scores = true;
+    config.service.archive_traces = true;
+    config.service.models.model.expression_count = 300;
+    config.service.models.model.tree_count = 900;
+    config.fabric.device.configure_time = Milliseconds(10);
+    return config;
+}
+
+TEST(TraceArchive, RecordAndFind) {
+    TraceArchive archive(4);
+    for (std::uint64_t id = 1; id <= 4; ++id) {
+        ArchivedTrace trace;
+        trace.score = static_cast<float>(id);
+        archive.Record(id, std::move(trace));
+    }
+    ASSERT_NE(archive.Find(1), nullptr);
+    EXPECT_EQ(archive.Find(3)->score, 3.0f);
+    EXPECT_EQ(archive.Find(99), nullptr);
+}
+
+TEST(TraceArchive, FifoEvictionAtCapacity) {
+    TraceArchive archive(3);
+    for (std::uint64_t id = 1; id <= 5; ++id) {
+        archive.Record(id, ArchivedTrace{});
+    }
+    EXPECT_EQ(archive.size(), 3u);
+    EXPECT_EQ(archive.Find(1), nullptr);  // evicted
+    EXPECT_EQ(archive.Find(2), nullptr);  // evicted
+    EXPECT_NE(archive.Find(5), nullptr);
+}
+
+TEST(TraceReplay, FdrWindowReplaysToIdenticalScores) {
+    PodTestbed bed(ReplayConfig());
+    ASSERT_TRUE(bed.DeployAndSettle());
+    rank::DocumentGenerator generator(404);
+    int completed = 0;
+    for (int i = 0; i < 20; ++i) {
+        rank::CompressedRequest request = generator.Next();
+        request.query.model_id = 0;
+        bed.service().Inject(i % 8, 0, request,
+                             [&](const ScoreResult& r) {
+                                 if (r.ok) ++completed;
+                             });
+        bed.simulator().Run();
+    }
+    ASSERT_EQ(completed, 20);
+
+    // Stream out the head FPGA's FDR (the health-check read, §3.6) and
+    // replay every scoring request against the archive.
+    const auto window =
+        bed.fabric().shell(bed.service().RingNode(0)).fdr().StreamOut();
+    auto& function = bed.service().FunctionFor(0);
+    const auto report = TraceReplayer::Replay(
+        window, bed.service().trace_archive(), function);
+    EXPECT_EQ(report.requests_in_window, 20);
+    EXPECT_EQ(report.replayed, 20);
+    EXPECT_EQ(report.matched, 20);
+    EXPECT_EQ(report.mismatched, 0);
+    EXPECT_EQ(report.missing, 0);
+}
+
+TEST(TraceReplay, MissingTracesAreCounted) {
+    PodTestbed::Config config = ReplayConfig();
+    config.service.trace_archive_capacity = 5;  // force eviction
+    PodTestbed bed(config);
+    ASSERT_TRUE(bed.DeployAndSettle());
+    rank::DocumentGenerator generator(405);
+    for (int i = 0; i < 12; ++i) {
+        rank::CompressedRequest request = generator.Next();
+        request.query.model_id = 0;
+        bed.service().Inject(0, 0, request, [](const ScoreResult&) {});
+        bed.simulator().Run();
+    }
+    const auto window =
+        bed.fabric().shell(bed.service().RingNode(0)).fdr().StreamOut();
+    auto& function = bed.service().FunctionFor(0);
+    const auto report = TraceReplayer::Replay(
+        window, bed.service().trace_archive(), function);
+    EXPECT_EQ(report.requests_in_window, 12);
+    EXPECT_EQ(report.replayed, 5);
+    EXPECT_EQ(report.missing, 7);
+    EXPECT_EQ(report.mismatched, 0);
+}
+
+TEST(TraceReplay, TimingOnlyTracesStillReplayable) {
+    // Without compute_scores the archive holds documents but no scores;
+    // replay still runs them (scored=false -> counted as matched).
+    PodTestbed::Config config = ReplayConfig();
+    config.service.compute_scores = false;
+    PodTestbed bed(config);
+    ASSERT_TRUE(bed.DeployAndSettle());
+    rank::DocumentGenerator generator(406);
+    rank::CompressedRequest request = generator.Next();
+    request.query.model_id = 0;
+    bed.service().Inject(0, 0, request, [](const ScoreResult&) {});
+    bed.simulator().Run();
+    const auto window =
+        bed.fabric().shell(bed.service().RingNode(0)).fdr().StreamOut();
+    auto& function = bed.service().FunctionFor(0);
+    const auto report = TraceReplayer::Replay(
+        window, bed.service().trace_archive(), function);
+    EXPECT_EQ(report.replayed, 1);
+    EXPECT_EQ(report.mismatched, 0);
+}
+
+}  // namespace
+}  // namespace catapult::service

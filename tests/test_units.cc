@@ -1,0 +1,86 @@
+// Unit tests for common/units.h: time, bandwidth and frequency math.
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace catapult {
+namespace {
+
+TEST(Units, TimeConstructors) {
+    EXPECT_EQ(Picoseconds(1), 1);
+    EXPECT_EQ(Nanoseconds(1), 1'000);
+    EXPECT_EQ(Microseconds(1), 1'000'000);
+    EXPECT_EQ(Milliseconds(1), 1'000'000'000);
+    EXPECT_EQ(Seconds(1), 1'000'000'000'000);
+}
+
+TEST(Units, TimeConversions) {
+    EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3)), 3.0);
+    EXPECT_DOUBLE_EQ(ToMicroseconds(Microseconds(7)), 7.0);
+    EXPECT_DOUBLE_EQ(ToNanoseconds(Nanoseconds(9)), 9.0);
+    EXPECT_DOUBLE_EQ(ToMicroseconds(Nanoseconds(1500)), 1.5);
+}
+
+TEST(Units, FormatTimePicksUnits) {
+    EXPECT_EQ(FormatTime(Picoseconds(5)), "5 ps");
+    EXPECT_NE(FormatTime(Nanoseconds(5)).find("ns"), std::string::npos);
+    EXPECT_NE(FormatTime(Microseconds(5)).find("us"), std::string::npos);
+    EXPECT_NE(FormatTime(Milliseconds(5)).find("ms"), std::string::npos);
+    EXPECT_NE(FormatTime(Seconds(5)).find(" s"), std::string::npos);
+}
+
+TEST(Units, DataSizes) {
+    EXPECT_EQ(KiB(1), 1024);
+    EXPECT_EQ(MiB(1), 1024 * 1024);
+    EXPECT_EQ(GiB(2), 2ll * 1024 * 1024 * 1024);
+}
+
+TEST(Bandwidth, SerializationTime) {
+    // 10 Gb/s: 1250 bytes = 1 us.
+    const Bandwidth link = Bandwidth::GigabitsPerSecond(10.0);
+    EXPECT_EQ(link.SerializationTime(1250), Microseconds(1));
+}
+
+TEST(Bandwidth, SerializationRoundsUpToAtLeastOnePicosecond) {
+    const Bandwidth fast = Bandwidth::GigabitsPerSecond(1000.0);
+    EXPECT_GE(fast.SerializationTime(1), 1);
+    EXPECT_EQ(fast.SerializationTime(0), 0);
+}
+
+TEST(Bandwidth, ScaledAppliesEccTax) {
+    // §3.2: ECC on the SL3 links costs 20% of peak bandwidth.
+    const Bandwidth raw = Bandwidth::GigabitsPerSecond(20.0);
+    const Bandwidth effective = raw.Scaled(0.8);
+    EXPECT_DOUBLE_EQ(effective.gigabits_per_second(), 16.0);
+    EXPECT_GT(effective.SerializationTime(10'000),
+              raw.SerializationTime(10'000));
+}
+
+TEST(Bandwidth, MegabytesPerSecond) {
+    const Bandwidth b = Bandwidth::MegabytesPerSecond(100.0);
+    EXPECT_DOUBLE_EQ(b.bytes_per_second(), 100e6);
+}
+
+TEST(Frequency, PeriodExactForCommonClocks) {
+    EXPECT_EQ(Frequency::MHz(200.0).Period(), Picoseconds(5'000));
+    EXPECT_EQ(Frequency::MHz(250.0).Period(), Picoseconds(4'000));
+    EXPECT_EQ(Frequency::GHz(1.0).Period(), Picoseconds(1'000));
+}
+
+TEST(Frequency, TableOneClocks) {
+    // All Table 1 clock frequencies must be representable.
+    EXPECT_EQ(Frequency::MHz(150.0).Period(), Picoseconds(6'667));
+    EXPECT_EQ(Frequency::MHz(125.0).Period(), Picoseconds(8'000));
+    EXPECT_EQ(Frequency::MHz(180.0).Period(), Picoseconds(5'556));
+    EXPECT_EQ(Frequency::MHz(166.0).Period(), Picoseconds(6'024));
+    EXPECT_EQ(Frequency::MHz(175.0).Period(), Picoseconds(5'714));
+}
+
+TEST(Frequency, CyclesSpan) {
+    // §4.2: 1,600 cycles at 200 MHz is the 8 us macropipeline budget.
+    EXPECT_EQ(Frequency::MHz(200.0).Cycles(1'600), Microseconds(8));
+}
+
+}  // namespace
+}  // namespace catapult
