@@ -1,0 +1,174 @@
+// Unit tests for the compression stage (§4.2): operand-set selection,
+// round-trip fidelity on the selected slots, payload/ratio bounds and
+// degenerate inputs.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "rank/compression.h"
+#include "rank/scorer.h"
+
+namespace catapult::rank {
+namespace {
+
+FeatureStore DenseStore() {
+    FeatureStore store;
+    for (std::uint32_t i = 0; i < kFeatureUniverse; ++i) {
+        store.Set(i, static_cast<float>((i % 97) + 1));
+    }
+    return store;
+}
+
+/** A one-node tree splitting on `feature` (children are leaves). */
+DecisionTree SplitTree(std::uint32_t feature) {
+    DecisionTree tree;
+    TreeNode root;
+    root.feature = feature;
+    root.threshold = 0.5f;
+    root.left = 1;
+    root.right = 2;
+    tree.nodes.push_back(root);
+    TreeNode leaf;
+    leaf.feature = TreeNode::kLeaf;
+    tree.nodes.push_back(leaf);
+    tree.nodes.push_back(leaf);
+    return tree;
+}
+
+TEST(CompressionStage, DefaultStageHasEmptyOperandSet) {
+    const CompressionStage stage;
+    EXPECT_EQ(stage.operand_count(), 0u);
+    EXPECT_EQ(stage.CompressedPayloadBytes(), 0);
+}
+
+TEST(CompressionStage, EmptyOperandSetCopiesNothing) {
+    const CompressionStage stage;
+    const FeatureStore in = DenseStore();
+    FeatureStore out;
+    stage.Apply(in, out);
+    EXPECT_EQ(out.NonZeroCount(), 0u);
+}
+
+TEST(CompressionStage, LeafOnlyModelReferencesNoFeatures) {
+    // Degenerate ensemble: trees with only leaf nodes reference no
+    // feature slots, so the operand set must stay empty.
+    DecisionTree leaf_tree;
+    TreeNode leaf;
+    leaf.feature = TreeNode::kLeaf;
+    leaf.leaf_value = 1.0f;
+    leaf_tree.nodes.push_back(leaf);
+    ScoringEnsemble ensemble(std::vector<DecisionTree>(6, leaf_tree));
+
+    CompressionStage stage;
+    stage.ProgramForModel(ensemble);
+    EXPECT_EQ(stage.operand_count(), 0u);
+    EXPECT_EQ(stage.CompressedPayloadBytes(), 0);
+}
+
+TEST(CompressionStage, SelectsExactlyTheReferencedSlots) {
+    const std::vector<std::uint32_t> features = {3, 700, 4'483, 9'000};
+    std::vector<DecisionTree> trees;
+    for (const std::uint32_t f : features) trees.push_back(SplitTree(f));
+    // Duplicate reference must not enlarge the operand set.
+    trees.push_back(SplitTree(features[0]));
+    ScoringEnsemble ensemble(std::move(trees));
+
+    CompressionStage stage;
+    stage.ProgramForModel(ensemble);
+    EXPECT_EQ(stage.operand_count(), features.size());
+    EXPECT_EQ(stage.CompressedPayloadBytes(),
+              static_cast<Bytes>(features.size()) * 2);
+}
+
+TEST(CompressionStage, RoundTripIsIdentityOnOperandSet) {
+    const std::vector<std::uint32_t> features = {1, 42, 4'484, 12'000};
+    std::vector<DecisionTree> trees;
+    for (const std::uint32_t f : features) trees.push_back(SplitTree(f));
+    ScoringEnsemble ensemble(std::move(trees));
+
+    CompressionStage stage;
+    stage.ProgramForModel(ensemble);
+
+    const FeatureStore in = DenseStore();
+    FeatureStore out;
+    stage.Apply(in, out);
+
+    // Referenced slots survive bit-exactly; everything else is dropped.
+    for (const std::uint32_t f : features) {
+        EXPECT_EQ(out.Get(f), in.Get(f)) << "slot " << f;
+    }
+    EXPECT_EQ(out.NonZeroCount(), features.size());
+}
+
+TEST(CompressionStage, ScoreUnchangedAfterCompression) {
+    // The stage's contract: scoring the compressed store gives the same
+    // score as scoring the full store, because every slot the trees
+    // read is in the operand set.
+    const ScoringEnsemble ensemble = GenerateEnsemble(0xC0FFEE, 200);
+    CompressionStage stage;
+    stage.ProgramForModel(ensemble);
+
+    const FeatureStore in = DenseStore();
+    FeatureStore out;
+    stage.Apply(in, out);
+    EXPECT_EQ(ensemble.Score(out), ensemble.Score(in));
+}
+
+TEST(CompressionStage, RatioBoundedByOperandBudgetAndUniverse) {
+    const int operand_budget = 1'000;
+    const ScoringEnsemble ensemble =
+        GenerateEnsemble(7, 400, /*max_depth=*/6, operand_budget);
+    CompressionStage stage;
+    stage.ProgramForModel(ensemble);
+
+    // Non-trivial model references at least one slot, at most the
+    // model's operand window, and never more than the universe.
+    EXPECT_GT(stage.operand_count(), 0u);
+    EXPECT_LE(stage.operand_count(),
+              static_cast<std::size_t>(operand_budget));
+    EXPECT_LT(stage.operand_count(),
+              static_cast<std::size_t>(kFeatureUniverse));
+
+    // Payload: 16-bit fixed point per operand, strictly smaller than
+    // shipping the full float store across the link.
+    EXPECT_EQ(stage.CompressedPayloadBytes(),
+              static_cast<Bytes>(stage.operand_count()) * 2);
+    EXPECT_LT(stage.CompressedPayloadBytes(),
+              static_cast<Bytes>(kFeatureUniverse) * 4);
+}
+
+TEST(CompressionStage, ReprogrammingReplacesOperandSet) {
+    std::vector<DecisionTree> wide;
+    for (std::uint32_t f = 0; f < 64; ++f) wide.push_back(SplitTree(f));
+    ScoringEnsemble wide_model(std::move(wide));
+
+    std::vector<DecisionTree> narrow;
+    narrow.push_back(SplitTree(10'000));
+    ScoringEnsemble narrow_model(std::move(narrow));
+
+    CompressionStage stage;
+    stage.ProgramForModel(wide_model);
+    EXPECT_EQ(stage.operand_count(), 64u);
+    // Model reload (§4.3) reprograms the stage; stale slots must go.
+    stage.ProgramForModel(narrow_model);
+    EXPECT_EQ(stage.operand_count(), 1u);
+
+    const FeatureStore in = DenseStore();
+    FeatureStore out;
+    stage.Apply(in, out);
+    EXPECT_EQ(out.NonZeroCount(), 1u);
+    EXPECT_EQ(out.Get(10'000), in.Get(10'000));
+}
+
+TEST(CompressionStage, ServiceTimeIsPositiveAndScalesWithClock) {
+    CompressionStage fast;
+    CompressionStage slow;
+    slow.timing().clock = Frequency::MHz(90.0);  // half the Table 1 clock
+    EXPECT_GT(fast.ServiceTime(), 0);
+    EXPECT_GT(slow.ServiceTime(), fast.ServiceTime());
+}
+
+}  // namespace
+}  // namespace catapult::rank

@@ -1,0 +1,207 @@
+// Direct unit tests for service/ranking_service.h: the service wired
+// by hand onto a simulator + fabric + hosts + mapping manager, without
+// the PodTestbed (which the integration suite already exercises).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "fabric/catapult_fabric.h"
+#include "host/host_server.h"
+#include "mgmt/mapping_manager.h"
+#include "rank/document_generator.h"
+#include "service/ranking_service.h"
+#include "sim/simulator.h"
+
+namespace catapult::service {
+namespace {
+
+/** Minimal hand-wired harness: exactly the RankingService constructor
+ * dependencies, nothing else (no health monitor, no failure injector,
+ * no testbed). */
+class DirectHarness {
+  public:
+    explicit DirectHarness(RankingService::Config service_config) {
+        Rng rng(0xD12EC7ull);
+        fabric::CatapultFabric::Config fabric_config;
+        fabric_config.device.configure_time = Milliseconds(5);
+        fabric_ = std::make_unique<fabric::CatapultFabric>(
+            &simulator_, rng.Fork(), fabric_config);
+        for (int i = 0; i < fabric_->node_count(); ++i) {
+            hosts_storage_.push_back(std::make_unique<host::HostServer>(
+                &simulator_, "unit" + std::to_string(i), &fabric_->shell(i)));
+            hosts_storage_.back()->driver().AssignThreads(8);
+            hosts_.push_back(hosts_storage_.back().get());
+        }
+        mapping_manager_ = std::make_unique<mgmt::MappingManager>(
+            &simulator_, fabric_.get(), hosts_);
+        service_ = std::make_unique<RankingService>(
+            &simulator_, fabric_.get(), hosts_, mapping_manager_.get(),
+            service_config);
+    }
+
+    bool Deploy() {
+        bool deployed = false;
+        service_->Deploy([&](bool ok) { deployed = ok; });
+        simulator_.Run();
+        return deployed;
+    }
+
+    sim::Simulator& simulator() { return simulator_; }
+    fabric::CatapultFabric& fabric() { return *fabric_; }
+    RankingService& service() { return *service_; }
+
+  private:
+    sim::Simulator simulator_;
+    std::unique_ptr<fabric::CatapultFabric> fabric_;
+    std::vector<std::unique_ptr<host::HostServer>> hosts_storage_;
+    std::vector<host::HostServer*> hosts_;
+    std::unique_ptr<mgmt::MappingManager> mapping_manager_;
+    std::unique_ptr<RankingService> service_;
+};
+
+RankingService::Config SmallConfig(bool compute_scores = false) {
+    RankingService::Config config;
+    // Small models keep ensemble generation fast in unit tests.
+    config.models.model.expression_count = 300;
+    config.models.model.tree_count = 900;
+    config.compute_scores = compute_scores;
+    return config;
+}
+
+TEST(RankingServiceUnit, ConstructionMapsTheRing) {
+    DirectHarness harness(SmallConfig());
+    RankingService& service = harness.service();
+
+    // Eight distinct pod-local nodes, all within the pod.
+    std::vector<bool> seen(
+        static_cast<std::size_t>(harness.fabric().node_count()), false);
+    for (int i = 0; i < RankingService::kRingLength; ++i) {
+        const int node = service.RingNode(i);
+        ASSERT_GE(node, 0);
+        ASSERT_LT(node, harness.fabric().node_count());
+        EXPECT_FALSE(seen[static_cast<std::size_t>(node)])
+            << "ring position " << i << " reuses node " << node;
+        seen[static_cast<std::size_t>(node)] = true;
+    }
+
+    // Stage placement is the §4.2 macropipeline: FE at the head, the
+    // spare at the tail, and StageAt/RingIndexOf are inverses.
+    EXPECT_EQ(service.StageAt(0), rank::PipelineStage::kFeatureExtraction);
+    EXPECT_EQ(service.StageAt(RankingService::kRingLength - 1),
+              rank::PipelineStage::kSpare);
+    for (int i = 0; i < RankingService::kRingLength; ++i) {
+        EXPECT_EQ(service.RingIndexOf(service.StageAt(i)), i);
+    }
+}
+
+TEST(RankingServiceUnit, CountersStartAtZero) {
+    DirectHarness harness(SmallConfig());
+    const RankingService::Counters& counters = harness.service().counters();
+    EXPECT_EQ(counters.injected, 0u);
+    EXPECT_EQ(counters.completed, 0u);
+    EXPECT_EQ(counters.timeouts, 0u);
+    EXPECT_EQ(counters.model_reloads, 0u);
+}
+
+TEST(RankingServiceUnit, DeployConfiguresAllRingNodes) {
+    DirectHarness harness(SmallConfig());
+    ASSERT_TRUE(harness.Deploy());
+    for (int i = 0; i < RankingService::kRingLength; ++i) {
+        EXPECT_TRUE(
+            harness.fabric().device(harness.service().RingNode(i)).active());
+    }
+}
+
+TEST(RankingServiceUnit, SingleRequestScoresEndToEnd) {
+    DirectHarness harness(SmallConfig(/*compute_scores=*/true));
+    ASSERT_TRUE(harness.Deploy());
+
+    rank::DocumentGenerator generator(7);
+    rank::CompressedRequest request = generator.Next();
+    request.query.model_id = 0;
+
+    ScoreResult result;
+    int completions = 0;
+    ASSERT_EQ(harness.service().Inject(0, 0, request,
+                                       [&](const ScoreResult& r) {
+                                           result = r;
+                                           ++completions;
+                                       }),
+              host::SendStatus::kOk);
+    harness.simulator().Run();
+
+    ASSERT_EQ(completions, 1);
+    EXPECT_TRUE(result.ok);
+    EXPECT_TRUE(std::isfinite(result.score));
+    EXPECT_GT(result.latency, 0);
+    EXPECT_NE(result.trace_id, 0u);
+}
+
+TEST(RankingServiceUnit, InjectOnSlotBypassesThreadMapping) {
+    DirectHarness harness(SmallConfig());
+    ASSERT_TRUE(harness.Deploy());
+
+    rank::DocumentGenerator generator(11);
+    rank::CompressedRequest request = generator.Next();
+    request.query.model_id = 0;
+
+    bool completed = false;
+    ASSERT_EQ(harness.service().InjectOnSlot(
+                  2, /*slot=*/0, request,
+                  [&](const ScoreResult& r) { completed = r.ok; }),
+              host::SendStatus::kOk);
+    harness.simulator().Run();
+    EXPECT_TRUE(completed);
+}
+
+TEST(RankingServiceUnit, CountersTrackInjectionAndCompletion) {
+    DirectHarness harness(SmallConfig());
+    ASSERT_TRUE(harness.Deploy());
+
+    rank::DocumentGenerator generator(3);
+    constexpr int kDocs = 16;
+    int completions = 0;
+    for (int i = 0; i < kDocs; ++i) {
+        rank::CompressedRequest request = generator.Next();
+        request.query.model_id = 0;
+        // Unique (ring position, thread) per document: a driver slot
+        // holds one outstanding request at a time.
+        ASSERT_EQ(harness.service().Inject(
+                      i % RankingService::kRingLength,
+                      i / RankingService::kRingLength, request,
+                      [&](const ScoreResult& r) {
+                          if (r.ok) ++completions;
+                      }),
+                  host::SendStatus::kOk);
+    }
+    harness.simulator().Run();
+
+    const RankingService::Counters& counters = harness.service().counters();
+    EXPECT_EQ(counters.injected, static_cast<std::uint64_t>(kDocs));
+    EXPECT_EQ(counters.completed, static_cast<std::uint64_t>(kDocs));
+    EXPECT_EQ(counters.timeouts, 0u);
+    EXPECT_EQ(completions, kDocs);
+}
+
+TEST(RankingServiceUnit, StageServiceTimesArePositive) {
+    DirectHarness harness(SmallConfig());
+    ASSERT_TRUE(harness.Deploy());
+
+    rank::DocumentGenerator generator(5);
+    rank::CompressedRequest request = generator.Next();
+    RankingService& service = harness.service();
+    for (int i = 0; i < RankingService::kRingLength; ++i) {
+        const rank::PipelineStage stage = service.StageAt(i);
+        if (stage == rank::PipelineStage::kSpare) continue;
+        EXPECT_GT(service.StageServiceTime(stage, request, /*model_id=*/0), 0)
+            << "stage at ring position " << i;
+        EXPECT_GT(service.StageOutputBytes(stage, /*model_id=*/0), 0)
+            << "stage at ring position " << i;
+    }
+}
+
+}  // namespace
+}  // namespace catapult::service
