@@ -1,6 +1,7 @@
 #include "mgmt/mapping_manager.h"
 
 #include <cassert>
+#include <iterator>
 #include <memory>
 
 #include "common/log.h"
@@ -23,7 +24,16 @@ void MappingManager::Deploy(const ServiceSpec& spec,
                             std::function<void(bool)> on_done) {
     ++counters_.deployments;
     spec_ = spec;
-    role_to_node_.clear();
+    // The role map is cumulative across deployments: a multi-ring pool
+    // deploys one spec per ring (serialized), and every ring's roles
+    // must stay resolvable afterwards. A node being redeployed sheds
+    // its old role; a role name being redeployed moves to its new node.
+    for (const auto& role : spec_.roles) {
+        for (auto it = role_to_node_.begin(); it != role_to_node_.end();) {
+            it = it->second == role.node ? role_to_node_.erase(it)
+                                         : std::next(it);
+        }
+    }
     for (const auto& role : spec_.roles) {
         role_to_node_[role.role_name] = role.node;
     }

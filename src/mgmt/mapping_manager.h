@@ -70,13 +70,17 @@ class MappingManager {
      */
     void ReconfigureInPlace(int node, std::function<void(bool)> on_done);
 
-    /** Node currently hosting `role_name`, or -1. */
+    /**
+     * Node currently hosting `role_name`, or -1. The role map is
+     * cumulative across Deploy calls (one spec per ring of a pool), so
+     * every deployed ring's roles resolve, not just the last spec's.
+     */
     int NodeOfRole(const std::string& role_name) const;
 
     /** Role currently mapped to `node`, or empty. */
     std::string RoleAtNode(int node) const;
 
-    /** The deployed spec (empty before Deploy). */
+    /** The most recently deployed spec (empty before Deploy). */
     const ServiceSpec& current_spec() const { return spec_; }
 
     struct Counters {

@@ -1,0 +1,95 @@
+#include "mgmt/pod_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+
+namespace catapult::mgmt {
+
+PodScheduler::PodScheduler(int rows, int cols)
+    : rows_(rows),
+      cols_(cols),
+      occupied_(static_cast<std::size_t>(rows * cols), false) {
+    assert(rows_ > 0 && cols_ > 0);
+}
+
+bool PodScheduler::InPod(int row, int head_col, int length) const {
+    // A ring wraps east, so any head column works, but it cannot visit
+    // more nodes than the row holds.
+    return row >= 0 && row < rows_ && head_col >= 0 && head_col < cols_ &&
+           length > 0 && length <= cols_;
+}
+
+bool PodScheduler::RegionFree(int row, int head_col, int length) const {
+    if (!InPod(row, head_col, length)) return false;
+    for (int k = 0; k < length; ++k) {
+        const int col = (head_col + k) % cols_;
+        if (occupied_[static_cast<std::size_t>(row * cols_ + col)]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool PodScheduler::RowFree(int row) const {
+    return RegionFree(row, 0, cols_);
+}
+
+void PodScheduler::Mark(const RingPlacement& placement, bool occupied) {
+    for (int k = 0; k < placement.length; ++k) {
+        const int col = (placement.head_col + k) % cols_;
+        const std::size_t idx =
+            static_cast<std::size_t>(placement.row * cols_ + col);
+        assert(occupied_[idx] != occupied && "occupancy map corrupted");
+        occupied_[idx] = occupied;
+        occupied_nodes_ += occupied ? 1 : -1;
+    }
+}
+
+RingPlacement PodScheduler::PlaceRing(int length) {
+    for (int row = 0; row < rows_; ++row) {
+        for (int head_col = 0; head_col < cols_; ++head_col) {
+            if (RegionFree(row, head_col, length)) {
+                return PlaceRingAt(row, head_col, length);
+            }
+        }
+    }
+    ++counters_.rejections;
+    LOG_WARN("pod_scheduler")
+        << "no free region for a ring of " << length << " nodes ("
+        << free_nodes() << "/" << node_count() << " nodes free)";
+    return RingPlacement{};
+}
+
+RingPlacement PodScheduler::PlaceRingAt(int row, int head_col, int length) {
+    if (!RegionFree(row, head_col, length)) {
+        ++counters_.rejections;
+        LOG_WARN("pod_scheduler")
+            << "rejected ring request at row " << row << " col " << head_col
+            << " length " << length << " (overlap or out of pod)";
+        return RingPlacement{};
+    }
+    RingPlacement placement{row, head_col, length};
+    Mark(placement, true);
+    grants_.push_back(placement);
+    ++counters_.placements;
+    LOG_INFO("pod_scheduler") << "granted ring: row " << row << " cols ["
+                              << head_col << ".." << head_col + length - 1
+                              << ") of " << cols_;
+    return placement;
+}
+
+bool PodScheduler::Release(const RingPlacement& placement) {
+    // Only an exact outstanding grant may be reclaimed: a misaligned
+    // region could span several live grants and free nodes out from
+    // under them.
+    const auto it = std::find(grants_.begin(), grants_.end(), placement);
+    if (it == grants_.end()) return false;
+    grants_.erase(it);
+    Mark(placement, false);
+    ++counters_.releases;
+    return true;
+}
+
+}  // namespace catapult::mgmt

@@ -1,0 +1,98 @@
+// Pod scheduler: placement of service rings onto the torus.
+//
+// §2: "FPGAs are directly wired to each other in a 6x8 two-dimensional
+// torus, allowing services to allocate groups of FPGAs to provide the
+// necessary area to implement the desired functionality." This is the
+// allocation half of that sentence: the scheduler owns the pod's
+// free/occupied map and grants ring-shaped regions (the §4 ranking
+// pipeline is a ring of eight FPGAs along one torus row) to services,
+// rejecting overlapping requests and reclaiming regions on teardown.
+// Callers no longer pick torus rows by hand — they ask for capacity.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/torus_topology.h"
+
+namespace catapult::mgmt {
+
+/**
+ * A granted ring region: `length` nodes along torus row `row` starting
+ * at column `head_col` (wrapping east past the row edge, matching
+ * TorusTopology::RingAlongRow). Default-constructed placements are
+ * invalid — a scheduler rejection.
+ */
+struct RingPlacement {
+    int row = -1;
+    int head_col = 0;
+    int length = 0;
+
+    bool valid() const { return row >= 0 && length > 0; }
+    bool operator==(const RingPlacement&) const = default;
+};
+
+class PodScheduler {
+  public:
+    /** Scheduler over an empty `rows` x `cols` pod. */
+    PodScheduler(int rows, int cols);
+    explicit PodScheduler(const fabric::TorusTopology& topology)
+        : PodScheduler(topology.rows(), topology.cols()) {}
+
+    PodScheduler(const PodScheduler&) = delete;
+    PodScheduler& operator=(const PodScheduler&) = delete;
+
+    /**
+     * Grant a ring of `length` nodes on the first row with a free run,
+     * scanning rows north to south and head columns west to east.
+     * Returns an invalid placement when no region fits.
+     */
+    RingPlacement PlaceRing(int length);
+
+    /**
+     * Grant a specific region (operator-pinned placement). Rejects —
+     * returning an invalid placement — when any requested node is
+     * already granted, or the request falls outside the pod.
+     */
+    RingPlacement PlaceRingAt(int row, int head_col, int length);
+
+    /**
+     * Reclaim a granted region so later requests can reuse its nodes.
+     * Returns false (and changes nothing) unless `placement` is exactly
+     * a grant this scheduler handed out and has not yet released.
+     */
+    bool Release(const RingPlacement& placement);
+
+    /** True when every node of the region is free. */
+    bool RegionFree(int row, int head_col, int length) const;
+
+    /** True when no grant touches `row`. */
+    bool RowFree(int row) const;
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    int node_count() const { return rows_ * cols_; }
+    int occupied_nodes() const { return occupied_nodes_; }
+    int free_nodes() const { return node_count() - occupied_nodes_; }
+
+    struct Counters {
+        std::uint64_t placements = 0;
+        std::uint64_t rejections = 0;
+        std::uint64_t releases = 0;
+    };
+    const Counters& counters() const { return counters_; }
+
+  private:
+    bool InPod(int row, int head_col, int length) const;
+    void Mark(const RingPlacement& placement, bool occupied);
+
+    int rows_;
+    int cols_;
+    std::vector<bool> occupied_;  ///< row-major node occupancy
+    std::vector<RingPlacement> grants_;  ///< outstanding grants, exact
+    int occupied_nodes_ = 0;
+    Counters counters_;
+};
+
+}  // namespace catapult::mgmt

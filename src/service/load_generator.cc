@@ -59,6 +59,73 @@ void ClosedLoopInjector::SendNext(int ring_index, int thread, int remaining) {
     }
 }
 
+PoolClosedLoopInjector::PoolClosedLoopInjector(ServicePool* pool,
+                                               Config config)
+    : pool_(pool),
+      config_(std::move(config)),
+      generator_(config_.corpus_seed, config_.corpus) {
+    assert(pool_ != nullptr);
+}
+
+LoadResult PoolClosedLoopInjector::Run() {
+    result_ = LoadResult{};
+    sent_ = 0;
+    started_ = pool_->simulator()->Now();
+    last_completion_ = started_;
+    // Stagger client starts: two clients sharing a thread id (modulo
+    // driver_threads) that inject on the same host inside one
+    // injection-overhead window would both pass the slot-busy check
+    // before either slot fills, and the loser surfaces as a spurious
+    // timeout. A >overhead skew between same-thread clients avoids the
+    // herd; steady-state re-injections are naturally de-phased.
+    const int clients = std::min(config_.concurrency, config_.documents);
+    retries_left_.assign(static_cast<std::size_t>(clients),
+                         config_.max_retries);
+    for (int client = 0; client < clients; ++client) {
+        pool_->simulator()->ScheduleAfter(
+            Microseconds(client), [this, client] { SendNext(client); });
+    }
+    pool_->simulator()->Run();
+    result_.elapsed = last_completion_ - started_;
+    return result_;
+}
+
+void PoolClosedLoopInjector::SendNext(int client) {
+    if (sent_ >= config_.documents) return;
+    rank::CompressedRequest request = generator_.Next();
+    if (config_.single_model) request.query.model_id = 0;
+    ++sent_;
+    const auto status = pool_->Inject(
+        client % config_.driver_threads, request,
+        [this, client](const ScoreResult& result) {
+            if (result.ok) {
+                ++result_.completed;
+                result_.latency_us.Add(ToMicroseconds(result.latency));
+            } else {
+                ++result_.timeouts;
+            }
+            last_completion_ = pool_->simulator()->Now();
+            SendNext(client);
+        });
+    if (status != host::SendStatus::kOk) {
+        // Every ring drained (mid-recovery) or the slot was busy: keep
+        // the client alive and try again shortly — up to the retry
+        // budget, so a pool that never recovers cannot hang Run().
+        --sent_;
+        if (--retries_left_[static_cast<std::size_t>(client)] < 0) {
+            ++result_.timeouts;
+            LOG_WARN("loadgen") << "pool client " << client
+                                << " gave up after " << config_.max_retries
+                                << " rejected sends";
+            return;
+        }
+        pool_->simulator()->ScheduleAfter(config_.retry_delay,
+                                          [this, client] { SendNext(client); });
+        return;
+    }
+    retries_left_[static_cast<std::size_t>(client)] = config_.max_retries;
+}
+
 OpenLoopInjector::OpenLoopInjector(RankingService* service, Rng rng,
                                    Config config)
     : service_(service),

@@ -21,6 +21,7 @@
 #include "rank/document_generator.h"
 #include "rank/software_ranker.h"
 #include "service/ranking_service.h"
+#include "service/service_pool.h"
 #include "sim/simulator.h"
 
 namespace catapult::service {
@@ -68,6 +69,56 @@ class ClosedLoopInjector {
     rank::DocumentGenerator generator_;
     LoadResult result_;
     int outstanding_ = 0;
+    Time started_ = 0;
+    Time last_completion_ = 0;
+};
+
+/**
+ * Pool-level closed loop: `concurrency` logical clients, each keeping
+ * one document outstanding against the pool's dispatcher. The pool
+ * shards every send across its rings by policy, so the same offered
+ * load measures 1-ring vs N-ring capacity (bench_pool_scaling).
+ */
+class PoolClosedLoopInjector {
+  public:
+    struct Config {
+        /** Outstanding documents across the whole pool. */
+        int concurrency = 32;
+        /** Driver threads registered per host (PodTestbed default 32);
+         *  clients map onto them modulo this, and slot collisions
+         *  between clients sharing a thread id resolve via retry. */
+        int driver_threads = 32;
+        /** Total documents to complete. */
+        int documents = 2'000;
+        std::uint64_t corpus_seed = 42;
+        rank::DocumentGenerator::Config corpus;
+        /** Force every document to one model (no reload churn). */
+        bool single_model = true;
+        /** Retry delay when the pool rejects (all rings drained). */
+        Time retry_delay = Microseconds(100);
+        /**
+         * Consecutive rejections a client tolerates before giving up
+         * (counted as one timeout). Bounds Run() when the pool never
+         * recovers — without it a permanently drained pool would retry
+         * forever and the simulation would never drain.
+         */
+        int max_retries = 1'000;
+    };
+
+    PoolClosedLoopInjector(ServicePool* pool, Config config);
+
+    /** Run to completion; returns the measurements. */
+    LoadResult Run();
+
+  private:
+    void SendNext(int client);
+
+    ServicePool* pool_;
+    Config config_;
+    rank::DocumentGenerator generator_;
+    LoadResult result_;
+    std::vector<int> retries_left_;
+    int sent_ = 0;
     Time started_ = 0;
     Time last_completion_ = 0;
 };

@@ -46,21 +46,24 @@ RankingService::RankingService(sim::Simulator* simulator,
                                fabric::CatapultFabric* fabric,
                                std::vector<host::HostServer*> hosts,
                                mgmt::MappingManager* mapping_manager,
-                               Config config)
+                               mgmt::RingPlacement placement, Config config)
     : simulator_(simulator),
       fabric_(fabric),
       hosts_(std::move(hosts)),
       mapping_manager_(mapping_manager),
-      config_(config),
-      models_(config.models),
-      queue_manager_(config.queue_manager),
-      trace_archive_(config.trace_archive_capacity) {
+      placement_(placement),
+      config_(std::move(config)),
+      models_(config_.models),
+      queue_manager_(config_.queue_manager),
+      trace_archive_(config_.trace_archive_capacity) {
     assert(simulator_ != nullptr && fabric_ != nullptr);
     assert(mapping_manager_ != nullptr);
+    assert(placement_.valid() && placement_.length == kRingLength &&
+           "ring placement must be a PodScheduler grant of kRingLength nodes");
 
     const auto& topology = fabric_->topology();
     const int start = topology.IndexOf(
-        fabric::TorusCoord{config_.ring_row, config_.head_col});
+        fabric::TorusCoord{placement_.row, placement_.head_col});
     const auto ring = topology.RingAlongRow(start, kRingLength);
     for (int i = 0; i < kRingLength; ++i) {
         ring_nodes_[static_cast<std::size_t>(i)] = ring[static_cast<std::size_t>(i)];
@@ -93,11 +96,12 @@ void RankingService::BuildRoles() {
 
 void RankingService::Deploy(std::function<void(bool)> on_done) {
     mgmt::ServiceSpec spec;
-    spec.service_name = "bing.ranking";
+    spec.service_name = config_.service_name;
     for (int i = 0; i < kRingLength; ++i) {
         mgmt::RoleAssignment assignment;
         assignment.role_name =
-            std::string("rank.") + ToString(stage_at_[static_cast<std::size_t>(i)]);
+            config_.service_name + "/rank." +
+            ToString(stage_at_[static_cast<std::size_t>(i)]);
         assignment.image = StageBitstream(stage_at_[static_cast<std::size_t>(i)]);
         assignment.node = ring_nodes_[static_cast<std::size_t>(i)];
         spec.roles.push_back(std::move(assignment));

@@ -24,6 +24,7 @@
 #include "fabric/catapult_fabric.h"
 #include "host/host_server.h"
 #include "mgmt/mapping_manager.h"
+#include "mgmt/pod_scheduler.h"
 #include "rank/document.h"
 #include "rank/model.h"
 #include "rank/queue_manager.h"
@@ -69,10 +70,11 @@ class RankingService {
     static constexpr int kRingLength = 8;
 
     struct Config {
-        /** Torus row hosting the ring (stages at columns 0..7). */
-        int ring_row = 0;
-        /** Column of the head (FE) node within the row. */
-        int head_col = 0;
+        /**
+         * Deployment name; also prefixes role names so several rings of
+         * the same pool stay distinguishable in the Mapping Manager.
+         */
+        std::string service_name = "bing.ranking";
         /** Run the full functional pipeline (bit-exact scores). */
         bool compute_scores = false;
         std::uint64_t model_seed = 0xCA7A9017ull;
@@ -98,9 +100,16 @@ class RankingService {
         std::size_t trace_archive_capacity = 65'536;
     };
 
+    /**
+     * The ring's torus region comes from the PodScheduler: callers no
+     * longer hand-pick a `ring_row` — they request a placement (length
+     * kRingLength) and pass the grant here. ServicePool does this for
+     * every ring it owns.
+     */
     RankingService(sim::Simulator* simulator, fabric::CatapultFabric* fabric,
                    std::vector<host::HostServer*> hosts,
-                   mgmt::MappingManager* mapping_manager, Config config);
+                   mgmt::MappingManager* mapping_manager,
+                   mgmt::RingPlacement placement, Config config);
 
     RankingService(const RankingService&) = delete;
     RankingService& operator=(const RankingService&) = delete;
@@ -126,6 +135,12 @@ class RankingService {
 
     /** Pod-local node index of ring position `ring_index`. */
     int RingNode(int ring_index) const { return ring_nodes_[ring_index]; }
+
+    /** The scheduler grant this ring occupies. */
+    const mgmt::RingPlacement& placement() const { return placement_; }
+
+    /** Torus row hosting the ring. */
+    int ring_row() const { return placement_.row; }
 
     /** Stage hosted at ring position `ring_index` under current mapping. */
     rank::PipelineStage StageAt(int ring_index) const {
@@ -198,6 +213,7 @@ class RankingService {
     fabric::CatapultFabric* fabric_;
     std::vector<host::HostServer*> hosts_;
     mgmt::MappingManager* mapping_manager_;
+    mgmt::RingPlacement placement_;
     Config config_;
     rank::ModelStore models_;
     rank::QueueManager queue_manager_;

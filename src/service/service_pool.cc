@@ -1,0 +1,250 @@
+#include "service/service_pool.h"
+
+#include <cassert>
+#include <memory>
+
+#include "common/log.h"
+
+namespace catapult::service {
+
+ServicePool::ServicePool(sim::Simulator* simulator,
+                         fabric::CatapultFabric* fabric,
+                         std::vector<host::HostServer*> hosts,
+                         mgmt::MappingManager* mapping_manager,
+                         mgmt::PodScheduler* scheduler, Config config)
+    : simulator_(simulator),
+      fabric_(fabric),
+      scheduler_(scheduler),
+      config_(std::move(config)),
+      dispatcher_(config_.policy, fabric->topology().rows()) {
+    assert(simulator_ != nullptr && fabric_ != nullptr);
+    assert(scheduler_ != nullptr && mapping_manager != nullptr);
+    assert(config_.ring_count >= 1);
+
+    rings_.reserve(static_cast<std::size_t>(config_.ring_count));
+    for (int k = 0; k < config_.ring_count; ++k) {
+        RingSlot slot;
+        slot.placement = scheduler_->PlaceRing(RankingService::kRingLength);
+        if (!slot.placement.valid()) {
+            // Out of pod capacity: a runtime resource condition, not a
+            // programming error. The shortfall is surfaced when Deploy
+            // reports failure.
+            LOG_ERROR("service_pool")
+                << name() << ": pod out of capacity — placed " << k
+                << " of " << config_.ring_count << " requested rings";
+            break;
+        }
+        RankingService::Config ring_config = config_.ring;
+        ring_config.service_name =
+            name() + "/ring" + std::to_string(k);
+        slot.service = std::make_unique<RankingService>(
+            simulator_, fabric_, hosts, mapping_manager, slot.placement,
+            std::move(ring_config));
+        rings_.push_back(std::move(slot));
+    }
+    LOG_INFO("service_pool")
+        << name() << ": placed " << rings_.size() << " ring(s), policy "
+        << ToString(config_.policy);
+}
+
+ServicePool::~ServicePool() {
+    for (auto& slot : rings_) scheduler_->Release(slot.placement);
+}
+
+void ServicePool::EnqueueDeployment(
+    std::function<void(std::function<void(bool)>)> op,
+    std::function<void(bool)> on_done) {
+    deployment_queue_.push(
+        [this, op = std::move(op), on_done = std::move(on_done)]() mutable {
+            op([this, on_done = std::move(on_done)](bool ok) {
+                deployment_in_flight_ = false;
+                if (on_done) on_done(ok);
+                PumpDeployments();
+            });
+        });
+    PumpDeployments();
+}
+
+void ServicePool::PumpDeployments() {
+    if (deployment_in_flight_ || deployment_queue_.empty()) return;
+    deployment_in_flight_ = true;
+    auto run = std::move(deployment_queue_.front());
+    deployment_queue_.pop();
+    run();
+}
+
+void ServicePool::Deploy(std::function<void(bool)> on_done) {
+    if (ring_count() < config_.ring_count) {
+        // Placement fell short at construction (pod out of capacity):
+        // fail the deployment instead of silently serving fewer rings.
+        if (on_done) on_done(false);
+        return;
+    }
+    // The Mapping Manager holds a single in-flight spec, so ring
+    // deployments are serialized through the queue; each ring joins the
+    // dispatch rotation the moment it is configured.
+    auto all_ok = std::make_shared<bool>(true);
+    auto remaining = std::make_shared<int>(ring_count());
+    auto done = std::make_shared<std::function<void(bool)>>(std::move(on_done));
+    for (int k = 0; k < ring_count(); ++k) {
+        EnqueueDeployment(
+            [this, k](std::function<void(bool)> cb) {
+                rings_[static_cast<std::size_t>(k)].service->Deploy(
+                    std::move(cb));
+            },
+            [this, k, all_ok, remaining, done](bool ok) {
+                rings_[static_cast<std::size_t>(k)].available = ok;
+                *all_ok = *all_ok && ok;
+                if (--*remaining == 0 && *done) (*done)(*all_ok);
+            });
+    }
+}
+
+const std::vector<RingView>& ServicePool::Snapshot() {
+    // Rebuilt in place: Inject runs once per document, so the snapshot
+    // buffer is reused rather than reallocated on every dispatch.
+    snapshot_.clear();
+    for (const auto& slot : rings_) {
+        snapshot_.push_back(RingView{slot.available, slot.in_flight,
+                                     slot.placement.row});
+    }
+    return snapshot_;
+}
+
+int ServicePool::DrainedRings() const {
+    int drained = 0;
+    for (const auto& slot : rings_) {
+        if (!slot.available) ++drained;
+    }
+    return drained;
+}
+
+int ServicePool::total_in_flight() const {
+    int total = 0;
+    for (const auto& slot : rings_) total += slot.in_flight;
+    return total;
+}
+
+host::SendStatus ServicePool::InjectOnRing(
+    int ring_id, int ring_position, int thread,
+    const rank::CompressedRequest& request,
+    std::function<void(const ScoreResult&)> on_complete) {
+    RingSlot& slot = rings_[static_cast<std::size_t>(ring_id)];
+    const auto status = slot.service->Inject(
+        ring_position, thread, request,
+        [this, ring_id, on_complete = std::move(on_complete)](
+            const ScoreResult& result) {
+            --rings_[static_cast<std::size_t>(ring_id)].in_flight;
+            if (on_complete) on_complete(result);
+        });
+    if (status == host::SendStatus::kOk) {
+        ++slot.in_flight;
+        ++counters_.dispatched;
+        if (DrainedRings() > 0) ++counters_.redirected;
+    }
+    return status;
+}
+
+int ServicePool::NextResponsivePosition(RingSlot& slot) {
+    // Rotate the injection point around the ring, skipping servers that
+    // are down (e.g. the rebooting machine a spare rotation mapped out):
+    // any of the eight servers can inject (§4.1), so a dead one just
+    // drops out of the rotation.
+    for (int tries = 0; tries < RankingService::kRingLength; ++tries) {
+        const int position = slot.next_inject_position;
+        slot.next_inject_position =
+            (position + 1) % RankingService::kRingLength;
+        if (slot.service->host(position)->responsive()) return position;
+    }
+    return -1;
+}
+
+host::SendStatus ServicePool::Inject(
+    int thread, const rank::CompressedRequest& request,
+    std::function<void(const ScoreResult&)> on_complete) {
+    const int ring_id = dispatcher_.Pick(Snapshot(), /*preferred_row=*/-1);
+    if (ring_id < 0) {
+        ++counters_.rejected;
+        return host::SendStatus::kTimeout;
+    }
+    RingSlot& slot = rings_[static_cast<std::size_t>(ring_id)];
+    const int position = NextResponsivePosition(slot);
+    if (position < 0) {
+        ++counters_.rejected;
+        return host::SendStatus::kTimeout;
+    }
+    return InjectOnRing(ring_id, position, thread, request,
+                        std::move(on_complete));
+}
+
+host::SendStatus ServicePool::InjectFrom(
+    int injector_node, int thread, const rank::CompressedRequest& request,
+    std::function<void(const ScoreResult&)> on_complete) {
+    const auto coord = fabric_->topology().CoordOf(injector_node);
+    const int ring_id = dispatcher_.Pick(Snapshot(), coord.row);
+    if (ring_id < 0) {
+        ++counters_.rejected;
+        return host::SendStatus::kTimeout;
+    }
+    RingSlot& slot = rings_[static_cast<std::size_t>(ring_id)];
+    const int cols = fabric_->topology().cols();
+    int position = ((coord.col - slot.placement.head_col) % cols + cols) % cols;
+    if (position >= slot.placement.length ||
+        !slot.service->host(position)->responsive()) {
+        // The injector's column is outside this ring's span (possible
+        // on non-full-row rings), or that server is down: fall back to
+        // the rotating cursor.
+        position = NextResponsivePosition(slot);
+        if (position < 0) {
+            ++counters_.rejected;
+            return host::SendStatus::kTimeout;
+        }
+    }
+    return InjectOnRing(ring_id, position, thread, request,
+                        std::move(on_complete));
+}
+
+void ServicePool::RecoverRing(int ring_id, int failed_ring_index,
+                              std::function<void(bool)> on_done) {
+    RingSlot& slot = rings_[static_cast<std::size_t>(ring_id)];
+    // Drain first: from this instant the dispatcher routes every new
+    // document to the surviving rings; in-flight documents on the
+    // broken ring surface as timeouts through the normal §3.2 path.
+    slot.available = false;
+    ++counters_.recoveries;
+    LOG_INFO("service_pool")
+        << name() << ": ring " << ring_id
+        << " drained for recovery (failed position " << failed_ring_index
+        << "); " << ring_count() - DrainedRings() << " ring(s) serving";
+    EnqueueDeployment(
+        [this, ring_id, failed_ring_index](std::function<void(bool)> cb) {
+            rings_[static_cast<std::size_t>(ring_id)]
+                .service->RotateRingAround(failed_ring_index, std::move(cb));
+        },
+        [this, ring_id, on_done = std::move(on_done)](bool ok) {
+            if (ok) {
+                rings_[static_cast<std::size_t>(ring_id)].available = true;
+                LOG_INFO("service_pool") << name() << ": ring "
+                                         << ring_id << " rejoined rotation";
+            }
+            if (on_done) on_done(ok);
+        });
+}
+
+void ServicePool::SetRingAvailable(int ring_id, bool available) {
+    rings_[static_cast<std::size_t>(ring_id)].available = available;
+}
+
+RankingService::Counters ServicePool::AggregateRingCounters() const {
+    RankingService::Counters total;
+    for (const auto& slot : rings_) {
+        const auto& c = slot.service->counters();
+        total.injected += c.injected;
+        total.completed += c.completed;
+        total.timeouts += c.timeouts;
+        total.model_reloads += c.model_reloads;
+    }
+    return total;
+}
+
+}  // namespace catapult::service

@@ -1,0 +1,164 @@
+// Service pool: N ranking rings behind one dispatcher (§2, §4.2).
+//
+// The paper's elasticity story has services allocating groups of FPGAs
+// on the torus; the Service Manager keeps the service healthy and
+// available. The pool is that pod-level view: it asks the PodScheduler
+// for one ring-shaped region per ring, owns the resulting
+// RankingService instances, shards Inject traffic across them through a
+// QueryDispatcher, and on a ring failure drains the ring out of
+// rotation — new documents redirect to survivors — while the §4.2 spare
+// rotation recovers it. A pool of one ring behaves exactly like the old
+// single-ring service, which keeps the whole pre-pool test surface
+// green.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "mgmt/pod_scheduler.h"
+#include "service/query_dispatcher.h"
+#include "service/ranking_service.h"
+
+namespace catapult::service {
+
+class ServicePool {
+  public:
+    struct Config {
+        /** Rings to place and deploy (1..torus rows on a default pod). */
+        int ring_count = 1;
+        DispatchPolicy policy = DispatchPolicy::kLeastInFlight;
+        /**
+         * Per-ring configuration shared by every ring. Its
+         * `service_name` names the pool; rings deploy as
+         * "<service_name>/ring<k>".
+         */
+        RankingService::Config ring;
+    };
+
+    /**
+     * Places `ring_count` rings through `scheduler` (asserting the pod
+     * has capacity) and wires a RankingService onto each grant. Deploy
+     * separately — construction is placement only.
+     */
+    ServicePool(sim::Simulator* simulator, fabric::CatapultFabric* fabric,
+                std::vector<host::HostServer*> hosts,
+                mgmt::MappingManager* mapping_manager,
+                mgmt::PodScheduler* scheduler, Config config);
+
+    ServicePool(const ServicePool&) = delete;
+    ServicePool& operator=(const ServicePool&) = delete;
+
+    /** Releases every scheduler grant. */
+    ~ServicePool();
+
+    /**
+     * Deploy every ring (serialized: the Mapping Manager holds one
+     * in-flight spec at a time). `on_done(true)` only when all rings
+     * configured.
+     */
+    void Deploy(std::function<void(bool)> on_done);
+
+    /**
+     * Inject one document through the dispatcher. The target ring is
+     * picked by policy; the injecting server rotates around the chosen
+     * ring so no single host's DMA slots become the bottleneck.
+     * Returns kTimeout when no ring is in rotation.
+     */
+    host::SendStatus Inject(int thread, const rank::CompressedRequest& request,
+                            std::function<void(const ScoreResult&)> on_complete);
+
+    /**
+     * Inject from a specific pod node (the server the query arrived
+     * on): locality-aware policies prefer rings near that node's torus
+     * row, and the document enters the chosen ring at that node's
+     * column.
+     */
+    host::SendStatus InjectFrom(int injector_node, int thread,
+                                const rank::CompressedRequest& request,
+                                std::function<void(const ScoreResult&)> on_complete);
+
+    /**
+     * Ring failure handling: immediately drain ring `ring_id` out of
+     * dispatch rotation, rotate its spare over `failed_ring_index`
+     * (§4.2) and redeploy; the ring rejoins rotation on success.
+     * Traffic keeps flowing to surviving rings throughout.
+     */
+    void RecoverRing(int ring_id, int failed_ring_index,
+                     std::function<void(bool)> on_done);
+
+    /** Manual drain / rejoin (maintenance). */
+    void SetRingAvailable(int ring_id, bool available);
+    bool ring_available(int ring_id) const {
+        return rings_[static_cast<std::size_t>(ring_id)].available;
+    }
+
+    int ring_count() const { return static_cast<int>(rings_.size()); }
+    RankingService& ring(int ring_id) {
+        return *rings_[static_cast<std::size_t>(ring_id)].service;
+    }
+    const mgmt::RingPlacement& placement(int ring_id) const {
+        return rings_[static_cast<std::size_t>(ring_id)].placement;
+    }
+    int in_flight(int ring_id) const {
+        return rings_[static_cast<std::size_t>(ring_id)].in_flight;
+    }
+    int total_in_flight() const;
+
+    QueryDispatcher& dispatcher() { return dispatcher_; }
+    sim::Simulator* simulator() { return simulator_; }
+    fabric::CatapultFabric* fabric() { return fabric_; }
+
+    struct Counters {
+        std::uint64_t dispatched = 0;
+        /** Documents dispatched while at least one ring was drained. */
+        std::uint64_t redirected = 0;
+        /** Rejected because no ring was in rotation. */
+        std::uint64_t rejected = 0;
+        std::uint64_t recoveries = 0;
+    };
+    const Counters& counters() const { return counters_; }
+
+    /** Sum of the per-ring service counters. */
+    RankingService::Counters AggregateRingCounters() const;
+
+  private:
+    struct RingSlot {
+        mgmt::RingPlacement placement;
+        std::unique_ptr<RankingService> service;
+        bool available = false;  ///< enters rotation once deployed
+        int in_flight = 0;
+        int next_inject_position = 0;
+    };
+
+    host::SendStatus InjectOnRing(int ring_id, int ring_position, int thread,
+                                  const rank::CompressedRequest& request,
+                                  std::function<void(const ScoreResult&)> on_complete);
+    int NextResponsivePosition(RingSlot& slot);
+    const std::vector<RingView>& Snapshot();
+    int DrainedRings() const;
+
+    /** Serialize (re)deployments through the shared Mapping Manager. */
+    void EnqueueDeployment(std::function<void(std::function<void(bool)>)> op,
+                           std::function<void(bool)> on_done);
+    void PumpDeployments();
+
+    const std::string& name() const { return config_.ring.service_name; }
+
+    sim::Simulator* simulator_;
+    fabric::CatapultFabric* fabric_;
+    mgmt::PodScheduler* scheduler_;
+    Config config_;
+    QueryDispatcher dispatcher_;
+    std::vector<RingSlot> rings_;
+    std::vector<RingView> snapshot_;  ///< reused per dispatch (hot path)
+    std::queue<std::function<void()>> deployment_queue_;
+    bool deployment_in_flight_ = false;
+    Counters counters_;
+};
+
+}  // namespace catapult::service

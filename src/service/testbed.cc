@@ -19,14 +19,20 @@ PodTestbed::PodTestbed(Config config) : config_(std::move(config)) {
         &simulator_, fabric_.get(), hosts_);
     failure_injector_ = std::make_unique<mgmt::FailureInjector>(
         &simulator_, fabric_.get(), hosts_, rng.Fork());
-    service_ = std::make_unique<RankingService>(&simulator_, fabric_.get(),
-                                                hosts_, mapping_manager_.get(),
-                                                config_.service);
+    scheduler_ = std::make_unique<mgmt::PodScheduler>(fabric_->topology());
+    ServicePool::Config pool_config;
+    pool_config.ring_count = config_.ring_count;
+    pool_config.policy = config_.policy;
+    pool_config.ring = config_.service;
+    pool_ = std::make_unique<ServicePool>(&simulator_, fabric_.get(), hosts_,
+                                          mapping_manager_.get(),
+                                          scheduler_.get(),
+                                          std::move(pool_config));
 }
 
 bool PodTestbed::DeployAndSettle() {
     bool deployed = false;
-    service_->Deploy([&](bool ok) { deployed = ok; });
+    pool_->Deploy([&](bool ok) { deployed = ok; });
     simulator_.Run();
     return deployed;
 }

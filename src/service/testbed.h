@@ -1,6 +1,11 @@
 // One-stop testbed: a pod fabric, host servers, management services and
-// a deployed ranking service. Used by integration tests, examples and
-// every bench harness.
+// a deployed ranking-service pool. Used by integration tests, examples
+// and every bench harness.
+//
+// Rings are no longer hardwired to torus rows here: the testbed owns a
+// mgmt::PodScheduler and deploys `ring_count` rings (1..6 on a default
+// pod) through it as a service::ServicePool. `service()` keeps the
+// old single-ring surface alive as ring 0 of the pool.
 
 #pragma once
 
@@ -13,7 +18,9 @@
 #include "mgmt/failure_injector.h"
 #include "mgmt/health_monitor.h"
 #include "mgmt/mapping_manager.h"
+#include "mgmt/pod_scheduler.h"
 #include "service/ranking_service.h"
+#include "service/service_pool.h"
 #include "sim/simulator.h"
 
 namespace catapult::service {
@@ -23,7 +30,11 @@ class PodTestbed {
     struct Config {
         fabric::CatapultFabric::Config fabric;
         host::HostServer::Config host;
+        /** Per-ring configuration (shared by every ring of the pool). */
         RankingService::Config service;
+        /** Rings the scheduler places onto the pod. */
+        int ring_count = 1;
+        DispatchPolicy policy = DispatchPolicy::kLeastInFlight;
         std::uint64_t seed = 0xBED5EEDull;
         /** Threads per host pre-registered with the slot driver. */
         int driver_threads = 32;
@@ -32,7 +43,7 @@ class PodTestbed {
     explicit PodTestbed(Config config);
     PodTestbed() : PodTestbed(Config()) {}
 
-    /** Deploy the ranking service and run until configuration settles. */
+    /** Deploy every ring and run until configuration settles. */
     bool DeployAndSettle();
 
     sim::Simulator& simulator() { return simulator_; }
@@ -42,7 +53,10 @@ class PodTestbed {
     mgmt::MappingManager& mapping_manager() { return *mapping_manager_; }
     mgmt::HealthMonitor& health_monitor() { return *health_monitor_; }
     mgmt::FailureInjector& failure_injector() { return *failure_injector_; }
-    RankingService& service() { return *service_; }
+    mgmt::PodScheduler& scheduler() { return *scheduler_; }
+    ServicePool& pool() { return *pool_; }
+    /** Ring 0 of the pool: the legacy single-ring surface. */
+    RankingService& service() { return pool_->ring(0); }
 
   private:
     Config config_;
@@ -53,7 +67,8 @@ class PodTestbed {
     std::unique_ptr<mgmt::MappingManager> mapping_manager_;
     std::unique_ptr<mgmt::HealthMonitor> health_monitor_;
     std::unique_ptr<mgmt::FailureInjector> failure_injector_;
-    std::unique_ptr<RankingService> service_;
+    std::unique_ptr<mgmt::PodScheduler> scheduler_;
+    std::unique_ptr<ServicePool> pool_;
 };
 
 }  // namespace catapult::service

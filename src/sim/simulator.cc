@@ -1,6 +1,5 @@
 #include "sim/simulator.h"
 
-#include <algorithm>
 #include <cassert>
 
 namespace catapult::sim {
@@ -40,21 +39,16 @@ EventHandle Simulator::ScheduleDaemonAfter(Time delay, EventFn fn,
 
 void Simulator::Cancel(const EventHandle& handle) {
     if (!handle.valid()) return;
-    // Lazy deletion: remember the id and skip it when popped. The
-    // cancelled list stays sorted for binary search.
-    const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(),
-                                     handle.id());
-    if (it != cancelled_.end() && *it == handle.id()) return;
-    cancelled_.insert(it, handle.id());
+    // Lazy deletion: remember the id and skip it when popped. O(1) per
+    // cancel — timeout-heavy multi-ring loads cancel on the hot path.
+    cancelled_.insert(handle.id());
 }
 
 bool Simulator::PopNext(Scheduled& out) {
     while (!queue_.empty()) {
         out = queue_.top();
         queue_.pop();
-        const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(),
-                                         out.id);
-        if (it != cancelled_.end() && *it == out.id) {
+        if (const auto it = cancelled_.find(out.id); it != cancelled_.end()) {
             cancelled_.erase(it);
             --live_events_;
             if (out.daemon) --daemon_events_;
@@ -106,9 +100,11 @@ std::uint64_t Simulator::RunUntil(Time horizon) {
     while (true) {
         if (!PopNext(event)) break;
         if (event.when > horizon) {
-            // Put it back; advancing now_ to the horizon keeps callers'
-            // notion of elapsed time consistent.
-            queue_.push(event);
+            // Put it back (moved: re-copying the std::function closure
+            // is wasted work on every horizon crossing); advancing now_
+            // to the horizon keeps callers' notion of elapsed time
+            // consistent.
+            queue_.push(std::move(event));
             now_ = horizon;
             break;
         }

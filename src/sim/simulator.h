@@ -12,6 +12,7 @@
 #include <functional>
 #include <queue>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/units.h"
@@ -125,7 +126,7 @@ class Simulator {
 
     std::priority_queue<Scheduled, std::vector<Scheduled>,
                         std::greater<Scheduled>> queue_;
-    std::vector<std::uint64_t> cancelled_;  // sorted set of cancelled ids
+    std::unordered_set<std::uint64_t> cancelled_;  // lazily-deleted ids
     Time now_ = 0;
     std::uint64_t next_sequence_ = 1;
     std::uint64_t live_events_ = 0;

@@ -1,12 +1,14 @@
-// Elasticity: multiple services mapped onto one pod's fabric.
+// Elasticity: multiple rings mapped onto one pod's fabric.
 //
 // §2: "FPGAs are directly wired to each other in a 6x8 two-dimensional
 // torus, allowing services to allocate groups of FPGAs to provide the
 // necessary area to implement the desired functionality." Two ranking
-// rings on different torus rows share the same 48-node fabric without
-// interfering.
+// rings — placed by the PodScheduler, fronted by one dispatcher — share
+// the same 48-node fabric without interfering.
 
 #include <gtest/gtest.h>
+
+#include <functional>
 
 #include "rank/document_generator.h"
 #include "service/load_generator.h"
@@ -15,77 +17,62 @@
 namespace catapult::service {
 namespace {
 
-TEST(MultiService, TwoRingsShareOnePod) {
+PodTestbed::Config TwoRingConfig() {
     PodTestbed::Config config;
     config.service.models.model.expression_count = 300;
     config.service.models.model.tree_count = 900;
-    config.service.ring_row = 0;
     config.fabric.device.configure_time = Milliseconds(10);
+    config.ring_count = 2;
+    return config;
+}
+
+TEST(MultiService, TwoRingsShareOnePod) {
+    PodTestbed::Config config = TwoRingConfig();
+    config.policy = DispatchPolicy::kRoundRobin;
     PodTestbed bed(config);
+    ASSERT_TRUE(bed.DeployAndSettle());
+    ASSERT_EQ(bed.pool().ring_count(), 2);
 
-    // Second ranking service on torus row 3, sharing fabric + hosts.
-    RankingService::Config second_config = config.service;
-    second_config.ring_row = 3;
-    RankingService second(&bed.simulator(), &bed.fabric(), bed.hosts(),
-                          &bed.mapping_manager(), second_config);
-
-    bool first_ok = false, second_ok = false;
-    bed.service().Deploy([&](bool ok) { first_ok = ok; });
-    bed.simulator().Run();
-    second.Deploy([&](bool ok) { second_ok = ok; });
-    bed.simulator().Run();
-    ASSERT_TRUE(first_ok);
-    ASSERT_TRUE(second_ok);
-
-    // The two rings occupy disjoint nodes.
+    // The scheduler granted disjoint torus regions: no node hosts a
+    // stage of both rings.
+    RankingService& first = bed.pool().ring(0);
+    RankingService& second = bed.pool().ring(1);
+    EXPECT_NE(first.ring_row(), second.ring_row());
     for (int i = 0; i < RankingService::kRingLength; ++i) {
         for (int j = 0; j < RankingService::kRingLength; ++j) {
-            EXPECT_NE(bed.service().RingNode(i), second.RingNode(j));
+            EXPECT_NE(first.RingNode(i), second.RingNode(j));
         }
     }
 
-    // Interleaved injection into both services completes on both.
+    // Round-robin dispatch interleaves documents across both rings and
+    // every document completes.
     rank::DocumentGenerator generator(11);
-    int first_done = 0, second_done = 0;
+    int done = 0;
     for (int i = 0; i < 12; ++i) {
         rank::CompressedRequest request = generator.Next();
         request.query.model_id = 0;
-        if (i % 2 == 0) {
-            bed.service().Inject(i % 8, 0, request,
-                                 [&](const ScoreResult& r) {
-                                     if (r.ok) ++first_done;
-                                 });
-        } else {
-            second.Inject(i % 8, 0, request, [&](const ScoreResult& r) {
-                if (r.ok) ++second_done;
-            });
-        }
+        ASSERT_EQ(bed.pool().Inject(/*thread=*/0, request,
+                                    [&](const ScoreResult& r) {
+                                        if (r.ok) ++done;
+                                    }),
+                  host::SendStatus::kOk);
         bed.simulator().Run();
     }
-    EXPECT_EQ(first_done, 6);
-    EXPECT_EQ(second_done, 6);
+    EXPECT_EQ(done, 12);
+    EXPECT_EQ(first.counters().completed, 6u);
+    EXPECT_EQ(second.counters().completed, 6u);
 }
 
 TEST(MultiService, ConcurrentLoadDoesNotCrossTalk) {
-    PodTestbed::Config config;
-    config.service.models.model.expression_count = 300;
-    config.service.models.model.tree_count = 900;
-    config.fabric.device.configure_time = Milliseconds(10);
-    PodTestbed bed(config);
-
-    RankingService::Config second_config = config.service;
-    second_config.ring_row = 3;
-    RankingService second(&bed.simulator(), &bed.fabric(), bed.hosts(),
-                          &bed.mapping_manager(), second_config);
-    bed.service().Deploy([](bool) {});
-    bed.simulator().Run();
-    second.Deploy([](bool) {});
-    bed.simulator().Run();
+    PodTestbed bed(TwoRingConfig());
+    ASSERT_TRUE(bed.DeployAndSettle());
+    RankingService& ring_a = bed.pool().ring(0);
+    RankingService& ring_b = bed.pool().ring(1);
 
     // Saturating load on ring A must not produce timeouts on ring B.
     rank::DocumentGenerator generator(23);
     int b_completed = 0, b_timeouts = 0;
-    // Ring A: 64 outstanding docs in closed loop.
+    // Ring A: 32 outstanding docs in closed loop, injected directly.
     int a_outstanding = 0;
     int a_sent = 0;
     std::function<void()> pump_a = [&] {
@@ -94,11 +81,11 @@ TEST(MultiService, ConcurrentLoadDoesNotCrossTalk) {
             request.query.model_id = 0;
             ++a_sent;
             ++a_outstanding;
-            bed.service().Inject(a_sent % 8, a_sent / 8 % 4, request,
-                                 [&](const ScoreResult&) {
-                                     --a_outstanding;
-                                     pump_a();
-                                 });
+            ring_a.Inject(a_sent % 8, a_sent / 8 % 4, request,
+                          [&](const ScoreResult&) {
+                              --a_outstanding;
+                              pump_a();
+                          });
         }
     };
     pump_a();
@@ -106,7 +93,7 @@ TEST(MultiService, ConcurrentLoadDoesNotCrossTalk) {
     for (int i = 0; i < 10; ++i) {
         rank::CompressedRequest request = generator.Next();
         request.query.model_id = 0;
-        second.Inject(i % 8, 0, request, [&](const ScoreResult& r) {
+        ring_b.Inject(i % 8, 0, request, [&](const ScoreResult& r) {
             if (r.ok) {
                 ++b_completed;
             } else {
@@ -118,6 +105,41 @@ TEST(MultiService, ConcurrentLoadDoesNotCrossTalk) {
     bed.simulator().Run();
     EXPECT_EQ(b_completed, 10);
     EXPECT_EQ(b_timeouts, 0);
+}
+
+TEST(MultiService, LeastInFlightSteersAwayFromLoadedRing) {
+    PodTestbed bed(TwoRingConfig());  // default policy: least-in-flight
+    ASSERT_TRUE(bed.DeployAndSettle());
+
+    // Pin a standing load onto ring 0 directly (bypassing the pool), so
+    // its in-flight count stays high while the dispatcher decides.
+    rank::DocumentGenerator generator(29);
+    bed.pool().SetRingAvailable(1, false);
+    for (int i = 0; i < 8; ++i) {
+        rank::CompressedRequest request = generator.Next();
+        request.query.model_id = 0;
+        ASSERT_EQ(bed.pool().Inject(i, request, nullptr),
+                  host::SendStatus::kOk);
+    }
+    bed.pool().SetRingAvailable(1, true);
+    EXPECT_EQ(bed.pool().in_flight(0), 8);
+
+    // With ring 0 loaded, the next dispatches all pick ring 1.
+    int completed_on_1 = 0;
+    for (int i = 8; i < 12; ++i) {
+        rank::CompressedRequest request = generator.Next();
+        request.query.model_id = 0;
+        ASSERT_EQ(bed.pool().Inject(i, request,
+                                    [&](const ScoreResult& r) {
+                                        if (r.ok) ++completed_on_1;
+                                    }),
+                  host::SendStatus::kOk);
+    }
+    EXPECT_EQ(bed.pool().in_flight(1), 4);
+    bed.simulator().Run();
+    EXPECT_EQ(completed_on_1, 4);
+    EXPECT_EQ(bed.pool().ring(1).counters().completed, 4u);
+    EXPECT_EQ(bed.pool().total_in_flight(), 0);
 }
 
 }  // namespace

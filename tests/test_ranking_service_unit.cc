@@ -11,6 +11,7 @@
 #include "fabric/catapult_fabric.h"
 #include "host/host_server.h"
 #include "mgmt/mapping_manager.h"
+#include "mgmt/pod_scheduler.h"
 #include "rank/document_generator.h"
 #include "service/ranking_service.h"
 #include "sim/simulator.h"
@@ -37,8 +38,12 @@ class DirectHarness {
         }
         mapping_manager_ = std::make_unique<mgmt::MappingManager>(
             &simulator_, fabric_.get(), hosts_);
+        // The torus region comes from the scheduler, not a caller-picked
+        // row — the same path ServicePool uses.
+        scheduler_ = std::make_unique<mgmt::PodScheduler>(fabric_->topology());
         service_ = std::make_unique<RankingService>(
             &simulator_, fabric_.get(), hosts_, mapping_manager_.get(),
+            scheduler_->PlaceRing(RankingService::kRingLength),
             service_config);
     }
 
@@ -59,6 +64,7 @@ class DirectHarness {
     std::vector<std::unique_ptr<host::HostServer>> hosts_storage_;
     std::vector<host::HostServer*> hosts_;
     std::unique_ptr<mgmt::MappingManager> mapping_manager_;
+    std::unique_ptr<mgmt::PodScheduler> scheduler_;
     std::unique_ptr<RankingService> service_;
 };
 

@@ -88,6 +88,62 @@ TEST(Simulator, RunUntilStopsAtHorizon) {
     EXPECT_EQ(fired, 10);
 }
 
+TEST(Simulator, HorizonDeferredEventStaysCancellable) {
+    // Regression: RunUntil pops the first event past the horizon and
+    // re-enqueues it. An event cancelled after being deferred that way
+    // must still never fire.
+    Simulator sim;
+    bool fired = false;
+    const EventHandle handle =
+        sim.ScheduleAt(Microseconds(100), [&] { fired = true; });
+    sim.RunUntil(Microseconds(50));  // pops + re-enqueues the event
+    EXPECT_EQ(sim.Now(), Microseconds(50));
+    EXPECT_EQ(sim.PendingEvents(), 1u);
+    sim.Cancel(handle);
+    sim.Run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(sim.EventsFired(), 0u);
+}
+
+TEST(Simulator, CancelledEventSkippedAcrossHorizon) {
+    // The mirror order: cancel first, then run past several horizons.
+    // The lazily-deleted entry must be skipped, not deferred back in.
+    Simulator sim;
+    bool fired = false;
+    int later = 0;
+    const EventHandle handle =
+        sim.ScheduleAt(Microseconds(100), [&] { fired = true; });
+    sim.ScheduleAt(Microseconds(200), [&] { ++later; });
+    sim.Cancel(handle);
+    sim.RunUntil(Microseconds(50));
+    sim.RunUntil(Microseconds(150));
+    sim.Run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(later, 1);
+    EXPECT_EQ(sim.EventsFired(), 1u);
+}
+
+TEST(Simulator, ManyCancellationsStayCheap) {
+    // The timeout-heavy multi-ring pattern: every request schedules a
+    // timeout and nearly all get cancelled on completion. O(1) Cancel
+    // keeps this linear; the old sorted-vector insert was quadratic.
+    Simulator sim;
+    constexpr int kEvents = 20'000;
+    std::vector<EventHandle> handles;
+    handles.reserve(kEvents);
+    int fired = 0;
+    for (int i = 0; i < kEvents; ++i) {
+        handles.push_back(
+            sim.ScheduleAt(Microseconds(1 + i), [&] { ++fired; }));
+    }
+    // Cancel in an order hostile to append-friendly structures.
+    for (int i = kEvents - 1; i >= 0; --i) {
+        if (i % 16 != 0) sim.Cancel(handles[static_cast<std::size_t>(i)]);
+    }
+    sim.Run();
+    EXPECT_EQ(fired, kEvents / 16);
+}
+
 TEST(Simulator, StepSingleEvent) {
     Simulator sim;
     int fired = 0;
