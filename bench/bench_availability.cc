@@ -1,0 +1,160 @@
+// Availability under failure: the autonomic health plane's detection
+// and recovery latencies, and the QPS the pool retains while one ring
+// is out of rotation.
+//
+// §3.5's operational story — failures "detected and the machines
+// returned to service ... without operator intervention" — measured at
+// service level: a pod of three rings serves a fixed paced load, a
+// surprise machine reboot kills one ring's stage node mid-run, and the
+// plane (heartbeat watchdog -> investigation -> report fan-out -> spare
+// rotation) heals the pod with no explicit Investigate or RecoverRing
+// call. Reported: detection latency (fault -> drain), recovery latency
+// (drain -> rejoin), and throughput retained during the incident
+// window. The harness fails (exit 1) if the fault is not detected, the
+// ring does not rejoin, or the pool retains less than half its healthy
+// throughput during recovery.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "rank/document_generator.h"
+#include "service/load_generator.h"
+
+using namespace catapult;
+
+namespace {
+
+constexpr int kRings = 3;
+constexpr int kDocuments = 1'200;
+constexpr Time kInterarrival = Microseconds(250);
+
+struct RunResult {
+    int completed = 0;
+    int failed = 0;
+    Time drained_at = 0;
+    Time recovered_at = 0;
+    Time fault_time = 0;
+    /** Completions inside the incident window (fault -> rejoin). */
+    int completed_during_incident = 0;
+};
+
+/** Paced offered load with an optional mid-run ring-node reboot. */
+RunResult RunPaced(bool inject_fault) {
+    service::PodTestbed::Config config = bench::RingBenchConfig();
+    config.ring_count = kRings;
+    config.host.soft_reboot_duration = Milliseconds(200);
+    config.host.hard_reboot_duration = Milliseconds(500);
+    config.host.crash_reboot_delay = Milliseconds(50);
+    config.health.heartbeat_period = Milliseconds(10);
+    config.health.query_timeout = Milliseconds(50);
+    service::PodTestbed bed(config);
+    RunResult result;
+    if (!bed.DeployAndSettle()) return result;
+
+    result.fault_time = bed.simulator().Now() + Milliseconds(40);
+    if (inject_fault) {
+        const int failed_node = bed.pool().ring(1).RingNode(3);
+        bed.failure_injector().ScheduleMachineReboot(failed_node,
+                                                     result.fault_time);
+    }
+    bed.pool().set_on_ring_drained([&](int) {
+        if (result.drained_at == 0) result.drained_at = bed.simulator().Now();
+    });
+    bed.pool().set_on_ring_recovered(
+        [&](int) { result.recovered_at = bed.simulator().Now(); });
+
+    rank::DocumentGenerator generator(97);
+    for (int i = 0; i < kDocuments; ++i) {
+        bed.simulator().ScheduleAfter(
+            kInterarrival * i + Milliseconds(1), [&, i] {
+                rank::CompressedRequest request = generator.Next();
+                request.query.model_id = 0;
+                const auto status = bed.pool().Inject(
+                    i % 32, request, [&](const service::ScoreResult& r) {
+                        if (!r.ok) {
+                            ++result.failed;
+                            return;
+                        }
+                        ++result.completed;
+                        const Time now = bed.simulator().Now();
+                        if (now >= result.fault_time &&
+                            (result.recovered_at == 0 ||
+                             now <= result.recovered_at)) {
+                            ++result.completed_during_incident;
+                        }
+                    });
+                if (status != host::SendStatus::kOk) ++result.failed;
+            });
+    }
+    bed.simulator().Run();
+    return result;
+}
+
+}  // namespace
+
+int main() {
+    bench::Banner("Availability: autonomic detection + recovery under load",
+                  "Putnam et al., ISCA 2014, §3.5 failure handling / §4.2 "
+                  "spare rotation");
+
+    std::printf("\nOffered load: %d documents, one per %.0f us, %d rings\n",
+                kDocuments, ToMicroseconds(kInterarrival), kRings);
+
+    const RunResult healthy = RunPaced(/*inject_fault=*/false);
+    const RunResult faulted = RunPaced(/*inject_fault=*/true);
+    if (healthy.completed == 0 || faulted.completed == 0) {
+        std::printf("FAIL: deployment or load failed\n");
+        return 1;
+    }
+
+    // Incident-window throughput: completions between fault and rejoin
+    // against the same wall of simulated time under the healthy run's
+    // (fault-free) pacing — the healthy run completes everything, so
+    // its rate is the offered rate.
+    const bool detected = faulted.drained_at > faulted.fault_time;
+    const bool recovered = faulted.recovered_at > faulted.drained_at;
+    if (!detected || !recovered) {
+        std::printf("FAIL: fault %s\n",
+                    detected ? "never recovered" : "never detected");
+        return 1;
+    }
+    const double incident_s =
+        ToSeconds(faulted.recovered_at - faulted.fault_time);
+    const double offered_per_s = 1.0 / ToSeconds(kInterarrival);
+    const double incident_qps =
+        incident_s > 0 ? faulted.completed_during_incident / incident_s : 0;
+    const double retained = incident_qps / offered_per_s;
+
+    bench::Row({"metric", "value"});
+    bench::Row({"detection_ms",
+                bench::Fmt(ToSeconds(faulted.drained_at - faulted.fault_time) *
+                           1e3, 1)});
+    bench::Row({"recovery_ms",
+                bench::Fmt(ToSeconds(faulted.recovered_at - faulted.drained_at) *
+                           1e3, 1)});
+    bench::Row({"healthy_completed", bench::FmtInt(healthy.completed)});
+    bench::Row({"faulted_completed", bench::FmtInt(faulted.completed)});
+    bench::Row({"lost_documents", bench::FmtInt(faulted.failed)});
+    bench::Row({"incident_qps", bench::Fmt(incident_qps, 0)});
+    bench::Row({"offered_qps", bench::Fmt(offered_per_s, 0)});
+    bench::Row({"qps_retained", bench::Fmt(100.0 * retained, 1) + "%"});
+
+    std::printf("\nShape check [ring failure detected by the watchdog, spare "
+                "rotated in, ring rejoined; >= 50%% of offered QPS retained "
+                "during the incident]\n");
+    if (healthy.failed != 0) {
+        std::printf("FAIL: healthy run lost %d documents\n", healthy.failed);
+        return 1;
+    }
+    if (retained < 0.5) {
+        std::printf("FAIL: only %.1f%% of offered QPS retained\n",
+                    100.0 * retained);
+        return 1;
+    }
+    std::printf("PASS: detected in %.1f ms, recovered in %.1f ms, %.1f%% QPS "
+                "retained\n",
+                ToSeconds(faulted.drained_at - faulted.fault_time) * 1e3,
+                ToSeconds(faulted.recovered_at - faulted.drained_at) * 1e3,
+                100.0 * retained);
+    return 0;
+}

@@ -1,7 +1,11 @@
-// Failure handling walkthrough (§3.4-§3.5, §4.2): a stage node's host
-// crashes mid-service; the Health Monitor investigates (reboot ladder,
-// error vector), the Service Manager rotates the ring onto the spare,
-// and ranking resumes — the full at-scale recovery loop.
+// Autonomic failure handling walkthrough (§3.3-§3.5, §4.2): a stage
+// node's host crashes mid-service and the health plane does the rest —
+// the heartbeat watchdog spots the missed pings, the Health Monitor
+// runs the reboot ladder and classifies the error vector, the
+// confirmed report fans out to the service pool, and the Service
+// Manager rotates the ring onto the spare. No explicit Investigate or
+// RecoverRing call appears below: the testbed wires the telemetry bus,
+// watchdog and subscribers by default.
 
 #include <cstdio>
 
@@ -35,6 +39,10 @@ int main() {
     config.fabric.device.configure_time = Milliseconds(20);
     config.host.soft_reboot_duration = Seconds(2);
     config.host.crash_reboot_delay = Milliseconds(200);
+    // Watchdog cadence: ping sweeps every 25 ms, three consecutive
+    // misses form a suspect, status replies time out after 100 ms.
+    config.health.heartbeat_period = Milliseconds(25);
+    config.health.query_timeout = Milliseconds(100);
     service::PodTestbed bed(config);
     if (!bed.DeployAndSettle()) {
         std::printf("deployment failed\n");
@@ -44,37 +52,46 @@ int main() {
                 FormatTime(bed.simulator().Now()).c_str());
     std::printf("  %d/16 scored\n", RankBatch(bed, 16, 1));
 
+    // Observability: timestamp the drain and the rejoin as they happen.
+    Time drained_at = 0;
+    Time recovered_at = 0;
+    bed.pool().set_on_ring_drained(
+        [&](int) { drained_at = bed.simulator().Now(); });
+    bed.pool().set_on_ring_recovered(
+        [&](int) { recovered_at = bed.simulator().Now(); });
+
     // --- Failure: the Scoring1 node's host dies unexpectedly ----------
     const int failed_ring_index = 5;
     const int failed_node = bed.service().RingNode(failed_ring_index);
+    const Time crash_time = bed.simulator().Now();
     std::printf("\n[t=%s] host of ring position %d (node %d, %s) crashes\n",
-                FormatTime(bed.simulator().Now()).c_str(), failed_ring_index,
+                FormatTime(crash_time).c_str(), failed_ring_index,
                 failed_node, ToString(bed.service().StageAt(failed_ring_index)));
     bed.host(failed_node).CrashAndReboot("simulated production incident");
 
-    // --- Health Monitor: query, reboot ladder, error vector (§3.5) ----
-    std::vector<mgmt::MachineReport> reports;
-    bed.health_monitor().Investigate(
-        {failed_node},
-        [&](std::vector<mgmt::MachineReport> r) { reports = std::move(r); });
-    bed.simulator().Run();
-    for (const auto& report : reports) {
-        std::printf("[t=%s] health monitor: node %d fault=%s "
-                    "(soft_reboot=%s hard_reboot=%s)\n",
-                    FormatTime(bed.simulator().Now()).c_str(), report.node,
-                    ToString(report.fault),
+    // --- The plane heals the pod on its own ---------------------------
+    bed.simulator().RunUntil(bed.simulator().Now() + Seconds(10));
+
+    const auto& health = bed.health_monitor().counters();
+    std::printf("\n[t=%s] health plane summary:\n",
+                FormatTime(bed.simulator().Now()).c_str());
+    std::printf("  heartbeats %llu, misses %llu, auto investigations %llu, "
+                "soft reboots %llu\n",
+                static_cast<unsigned long long>(health.heartbeats_sent),
+                static_cast<unsigned long long>(health.heartbeat_misses),
+                static_cast<unsigned long long>(health.auto_investigations),
+                static_cast<unsigned long long>(health.soft_reboots));
+    for (const auto& report : bed.health_monitor().failed_machine_list()) {
+        std::printf("  node %d fault=%s (soft_reboot=%s hard_reboot=%s)\n",
+                    report.node, ToString(report.fault),
                     report.needed_soft_reboot ? "yes" : "no",
                     report.needed_hard_reboot ? "yes" : "no");
     }
-
-    // --- Service Manager: rotate the ring onto the spare (§4.2) -------
-    bool rotated = false;
-    bed.service().RotateRingAround(failed_ring_index,
-                                   [&](bool ok) { rotated = ok; });
-    bed.simulator().Run();
-    std::printf("[t=%s] ring rotation %s; stage map now:",
-                FormatTime(bed.simulator().Now()).c_str(),
-                rotated ? "complete" : "FAILED");
+    std::printf("  ring drained %.1f ms after the crash, rejoined %.1f ms "
+                "after the drain\n",
+                ToSeconds(drained_at - crash_time) * 1e3,
+                ToSeconds(recovered_at - drained_at) * 1e3);
+    std::printf("  stage map now:");
     for (int i = 0; i < service::RankingService::kRingLength; ++i) {
         std::printf(" %d=%s", i, ToString(bed.service().StageAt(i)));
     }
@@ -82,7 +99,12 @@ int main() {
 
     // --- Service resumes ----------------------------------------------
     const int recovered = RankBatch(bed, 16, 2);
-    std::printf("\n[t=%s] after recovery: %d/16 documents scored\n",
+    std::printf("\n[t=%s] after autonomic recovery: %d/16 documents scored\n",
                 FormatTime(bed.simulator().Now()).c_str(), recovered);
-    return recovered == 16 && rotated ? 0 : 1;
+    const bool rotated =
+        bed.service().StageAt(failed_ring_index) == rank::PipelineStage::kSpare;
+    const bool auto_recovered =
+        bed.pool().counters().auto_recoveries >= 1 && drained_at > 0 &&
+        recovered_at > drained_at;
+    return recovered == 16 && rotated && auto_recovered ? 0 : 1;
 }

@@ -78,4 +78,11 @@ void CatapultFabric::InjectCableDefect(int node, Port port) {
     ++defective_links_;
 }
 
+void CatapultFabric::AttachTelemetry(mgmt::TelemetryBus* bus) {
+    for (int i = 0; i < node_count(); ++i) {
+        shells_[static_cast<std::size_t>(i)]->AttachTelemetry(bus, i);
+        devices_[static_cast<std::size_t>(i)]->AttachTelemetry(bus, i);
+    }
+}
+
 }  // namespace catapult::fabric

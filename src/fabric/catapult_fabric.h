@@ -85,6 +85,12 @@ class CatapultFabric {
     /** Mark one cable defective at run time (failure injection). */
     void InjectCableDefect(int node, shell::Port port);
 
+    /**
+     * Wire every shell and FPGA device into the health plane: fault
+     * events publish onto `bus` attributed to pod-local node indices.
+     */
+    void AttachTelemetry(mgmt::TelemetryBus* bus);
+
   private:
     void Build(Rng& rng);
 

@@ -145,11 +145,31 @@ void FpgaDevice::set_activity_factor(double activity) {
     activity_factor_ = activity;
 }
 
+void FpgaDevice::AttachTelemetry(mgmt::TelemetryBus* bus, int node) {
+    telemetry_ = bus;
+    telemetry_node_ = node;
+    scrubber_.AttachTelemetry(bus, node);
+}
+
 void FpgaDevice::UpdateThermals() {
     const Time now = simulator_->Now();
     if (now > last_thermal_update_) {
         thermal_.Advance(CurrentPowerWatts(), now - last_thermal_update_);
         last_thermal_update_ = now;
+    }
+    // Publish the shutdown transition, not the steady over-temperature
+    // state: one excursion is one event however often health is read.
+    if (thermal_.over_temperature()) {
+        // Latch only once published: an excursion that begins before
+        // AttachTelemetry must still surface on the first update after
+        // the bus is wired.
+        if (!over_temperature_reported_ && telemetry_ != nullptr) {
+            telemetry_->Publish(telemetry_node_,
+                                mgmt::TelemetryKind::kTemperatureShutdown);
+            over_temperature_reported_ = true;
+        }
+    } else {
+        over_temperature_reported_ = false;
     }
 }
 

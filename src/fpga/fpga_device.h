@@ -19,6 +19,7 @@
 
 #include "common/rng.h"
 #include "common/units.h"
+#include "mgmt/telemetry_bus.h"
 #include "fpga/area_model.h"
 #include "fpga/bitstream.h"
 #include "fpga/config_flash.h"
@@ -98,14 +99,27 @@ class FpgaDevice {
     void set_activity_factor(double activity);
     double activity_factor() const { return activity_factor_; }
 
-    /** Advance thermals to the current simulated time. */
+    /**
+     * Advance thermals to the current simulated time. Crossing the
+     * rated junction temperature publishes a temperature-shutdown
+     * event on the attached telemetry bus (once per excursion).
+     */
     void UpdateThermals();
+
+    /**
+     * Wire this device into the health plane: SEU role corruptions and
+     * temperature-shutdown transitions publish as events attributed to
+     * pod-local `node`.
+     */
+    void AttachTelemetry(mgmt::TelemetryBus* bus, int node);
 
     ConfigFlash& flash() { return flash_; }
     const ConfigFlash& flash() const { return flash_; }
     SeuScrubber& scrubber() { return scrubber_; }
     const SeuScrubber& scrubber() const { return scrubber_; }
     const ThermalModel& thermal() const { return thermal_; }
+    /** Mutable thermal access (failure injection: cooling failures). */
+    ThermalModel& thermal_mutable() { return thermal_; }
     const PowerModel& power_model() const { return power_model_; }
     const DeviceBudget& budget() const { return config_.budget; }
 
@@ -136,6 +150,9 @@ class FpgaDevice {
     double activity_factor_ = 0.0;
     Time last_thermal_update_ = 0;
     bool role_corrupted_ = false;
+    mgmt::TelemetryBus* telemetry_ = nullptr;
+    int telemetry_node_ = -1;
+    bool over_temperature_reported_ = false;
     std::uint64_t configurations_completed_ = 0;
     std::uint64_t config_epoch_ = 0;
 };

@@ -15,6 +15,7 @@
 
 #include "common/rng.h"
 #include "common/units.h"
+#include "mgmt/telemetry_bus.h"
 #include "sim/simulator.h"
 
 namespace catapult::fpga {
@@ -54,6 +55,12 @@ class SeuScrubber {
         on_role_corruption_ = std::move(cb);
     }
 
+    /** Publish role-corrupting upsets as health-plane events. */
+    void AttachTelemetry(mgmt::TelemetryBus* bus, int node) {
+        telemetry_ = bus;
+        telemetry_node_ = node;
+    }
+
     /** Clear pending (uncorrected) upsets, e.g. after reconfiguration. */
     void ClearPendingUpsets() { pending_upsets_ = 0; }
 
@@ -77,6 +84,8 @@ class SeuScrubber {
     Config config_;
     mutable Counters counters_;
     std::function<void()> on_role_corruption_;
+    mgmt::TelemetryBus* telemetry_ = nullptr;
+    int telemetry_node_ = -1;
     std::uint64_t pending_upsets_ = 0;
     bool running_ = false;
     Time started_at_ = 0;

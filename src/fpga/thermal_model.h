@@ -29,6 +29,15 @@ class ThermalModel {
     /** Advance the model: power has been `watts` for `elapsed` time. */
     void Advance(double watts, Time elapsed);
 
+    /**
+     * Jump the die straight to its steady-state temperature at `watts`
+     * (failure injection: a cooling failure discovered after the
+     * thermal RC has long since settled).
+     */
+    void SnapToSteadyState(double watts) {
+        die_celsius_ = SteadyStateCelsius(watts);
+    }
+
     /** Steady-state die temperature at `watts` dissipation. */
     double SteadyStateCelsius(double watts) const {
         return config_.inlet_celsius + config_.theta_ja * watts;

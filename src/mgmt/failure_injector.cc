@@ -77,6 +77,54 @@ void FailureInjector::ScheduleUngracefulReconfig(int node, Time when) {
     });
 }
 
+void FailureInjector::ScheduleThermalShutdown(int node, Time when,
+                                              double inlet_celsius) {
+    ++injected_;
+    simulator_->ScheduleAt(when, [this, node, inlet_celsius] {
+        LOG_WARN("inject") << "thermal shutdown on node " << node
+                           << " (inlet " << inlet_celsius << " C)";
+        auto& device = fabric_->device(node);
+        auto& thermal = device.thermal_mutable();
+        thermal.set_inlet_celsius(inlet_celsius);
+        thermal.SnapToSteadyState(device.CurrentPowerWatts());
+        // Re-reading the thermals detects the crossing and publishes
+        // the temperature-shutdown event.
+        device.UpdateThermals();
+    });
+}
+
+void FailureInjector::ScheduleLinkFlap(int node, shell::Port port, Time when,
+                                       Time duration) {
+    ++injected_;
+    simulator_->ScheduleAt(when, [this, node, port, duration] {
+        shell::Sl3Link& link = fabric_->shell(node).link(port);
+        if (link.defective()) {
+            // Already down — a permanent cable defect or an overlapping
+            // flap. Piling on adds nothing, and the relock below must
+            // not heal the pre-existing condition.
+            LOG_WARN("inject") << "link flap on node " << node << " port "
+                               << shell::ToString(port)
+                               << " skipped: link already defective";
+            return;
+        }
+        LOG_WARN("inject") << "link flap on node " << node << " port "
+                           << shell::ToString(port) << " for "
+                           << FormatTime(duration);
+        // Both cable ends drop, as InjectCableDefect models it.
+        link.set_defective(true);
+        if (link.peer() != nullptr) link.peer()->set_defective(true);
+        // Known limit: a permanent defect injected on this same port
+        // *inside* the flap window is cleared by this relock (the link
+        // carries a single defective bit, not a depth count). Scenarios
+        // must not stack contradictory injections on one port.
+        simulator_->ScheduleAfter(duration, [this, node, port] {
+            shell::Sl3Link& down = fabric_->shell(node).link(port);
+            down.set_defective(false);
+            if (down.peer() != nullptr) down.peer()->set_defective(false);
+        });
+    });
+}
+
 void FailureInjector::ScheduleRandomReboots(int count, Time horizon) {
     for (int i = 0; i < count; ++i) {
         const int node =

@@ -48,6 +48,23 @@ class FailureInjector {
     void ScheduleUngracefulReconfig(int node, Time when);
 
     /**
+     * Cooling failure at `when`: the inlet air rises to
+     * `inlet_celsius` (server exhaust with a dead fan) and the die
+     * jumps to its steady-state temperature, crossing the 100 C rating
+     * — the FPGA reports a temperature shutdown (§3.5).
+     */
+    void ScheduleThermalShutdown(int node, Time when,
+                                 double inlet_celsius = 105.0);
+
+    /**
+     * SL3 link flap on `node`'s `port`: the lane loses lock at `when`
+     * and relocks after `duration` (marginal cable / connector). While
+     * down, arriving packets drop and publish link-down telemetry.
+     */
+    void ScheduleLinkFlap(int node, shell::Port port, Time when,
+                          Time duration);
+
+    /**
      * Background noise: schedule `count` random machine reboots
      * uniformly over [0, horizon] across all nodes.
      */

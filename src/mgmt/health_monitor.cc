@@ -18,6 +18,7 @@ const char* ToString(FaultType type) {
       case FaultType::kApplicationError: return "application_error";
       case FaultType::kPcieError: return "pcie_error";
       case FaultType::kTemperatureShutdown: return "temperature_shutdown";
+      case FaultType::kStrandedRxHalt: return "stranded_rx_halt";
     }
     return "?";
 }
@@ -36,7 +37,8 @@ HealthMonitor::HealthMonitor(sim::Simulator* simulator,
     : simulator_(simulator),
       fabric_(fabric),
       hosts_(std::move(hosts)),
-      config_(config) {
+      config_(config),
+      nodes_(hosts_.size()) {
     assert(simulator_ != nullptr);
     assert(fabric_ != nullptr);
 }
@@ -53,6 +55,11 @@ void HealthMonitor::Investigate(
     if (ctx->nodes.empty()) {
         ctx->on_done({});
         return;
+    }
+    for (const int node : ctx->nodes) {
+        // The watchdog holds off on nodes already being investigated —
+        // explicit calls and automatic ones share the dedup state.
+        nodes_[static_cast<std::size_t>(node)].investigating = true;
     }
     for (std::size_t i = 0; i < ctx->nodes.size(); ++i) {
         QueryMachine(ctx, i);
@@ -107,7 +114,13 @@ void HealthMonitor::HandleResponsive(std::shared_ptr<Context> ctx,
     const int node = report.node;
     report.health = fabric_->shell(node).CollectHealth();
     const FaultType classified = Classify(node, report.health);
-    if (classified != FaultType::kNone) report.fault = classified;
+    // A stranded RX halt is implied by (and subsumed under) a recovered
+    // reboot; real errors override the recovery classification.
+    if (classified != FaultType::kNone &&
+        !(classified == FaultType::kStrandedRxHalt &&
+          report.fault != FaultType::kNone)) {
+        report.fault = classified;
+    }
     FinishMachine(ctx, idx, std::move(report));
 }
 
@@ -136,22 +149,203 @@ FaultType HealthMonitor::Classify(int node,
     if (health.dram_calibration_failure) return FaultType::kDramError;
     if (health.application_error) return FaultType::kApplicationError;
     if (health.pcie_errors) return FaultType::kPcieError;
+    // Lowest priority: everything healthy but the shell still discards
+    // link traffic — the node rebooted unnoticed and awaits re-mapping.
+    if (health.rx_halted) return FaultType::kStrandedRxHalt;
     // Corrected DRAM bit errors alone are informational, not a fault.
     return FaultType::kNone;
 }
 
 void HealthMonitor::FinishMachine(std::shared_ptr<Context> ctx,
                                   std::size_t idx, MachineReport report) {
+    NodeState& state = nodes_[static_cast<std::size_t>(report.node)];
+    state.investigating = false;
+    state.has_concluded = true;
+    state.last_concluded = simulator_->Now();
+    state.consecutive_misses = 0;
+    state.event_times.clear();
+    if (report.fault == FaultType::kUnresponsiveFatal) state.dead = true;
+    // A confirmed fault already fans out the full response below, so a
+    // critical event parked during this investigation is satisfied and
+    // must not re-investigate the same excursion. A kNone conclusion
+    // keeps the parked suspicion: the event may have landed after the
+    // status query and its fault would otherwise go unseen.
     if (report.fault != FaultType::kNone) {
+        state.pending_critical = false;
         failed_machines_.push_back(report);
         LOG_INFO("health_monitor")
             << "node " << report.node << " fault: " << ToString(report.fault);
         if (on_machine_failed_) on_machine_failed_(report);
+        for (std::size_t i = 0; i < subscribers_.size(); ++i) {
+            subscribers_[i](report);
+        }
     }
     ctx->reports[idx] = std::move(report);
     if (--ctx->outstanding == 0) {
         ctx->on_done(std::move(ctx->reports));
     }
+}
+
+// --- Watchdog --------------------------------------------------------------
+
+int HealthMonitor::AddFailureSubscriber(
+    std::function<void(const MachineReport&)> fn) {
+    assert(fn != nullptr);
+    subscribers_.push_back(std::move(fn));
+    return static_cast<int>(subscribers_.size()) - 1;
+}
+
+void HealthMonitor::AttachTelemetry(TelemetryBus* bus) {
+    assert(bus != nullptr);
+    if (telemetry_ != nullptr) {
+        telemetry_->Unsubscribe(telemetry_subscription_);
+    }
+    telemetry_ = bus;
+    telemetry_subscription_ = bus->Subscribe(
+        [this](const TelemetryEvent& event) { OnTelemetry(event); });
+}
+
+void HealthMonitor::StartWatchdog() {
+    if (watchdog_running_) return;
+    watchdog_running_ = true;
+    const std::uint64_t epoch = ++watchdog_epoch_;
+    simulator_->ScheduleDaemonAfter(config_.heartbeat_period, [this, epoch] {
+        if (epoch == watchdog_epoch_) HeartbeatSweep();
+    });
+}
+
+void HealthMonitor::StopWatchdog() {
+    if (!watchdog_running_) return;
+    watchdog_running_ = false;
+    ++watchdog_epoch_;  // orphan any in-flight sweep callbacks
+}
+
+void HealthMonitor::HeartbeatSweep() {
+    const std::uint64_t epoch = watchdog_epoch_;
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+        const NodeState& state = nodes_[i];
+        // Dead machines wait for manual service; nodes mid-investigation
+        // already have the plane's full attention.
+        if (state.dead || state.investigating) continue;
+        ++counters_.heartbeats_sent;
+        const int node = static_cast<int>(i);
+        // The ping is answered (or not) one Ethernet hop away. Daemon
+        // events: heartbeats to an idle pod never keep Run() alive.
+        simulator_->ScheduleDaemonAfter(
+            config_.ethernet_latency, [this, node, epoch] {
+                if (epoch != watchdog_epoch_) return;
+                OnHeartbeatResult(
+                    node, hosts_[static_cast<std::size_t>(node)]->responsive());
+            });
+    }
+    simulator_->ScheduleDaemonAfter(config_.heartbeat_period, [this, epoch] {
+        if (epoch == watchdog_epoch_) HeartbeatSweep();
+    });
+}
+
+void HealthMonitor::OnHeartbeatResult(int node, bool responsive) {
+    NodeState& state = nodes_[static_cast<std::size_t>(node)];
+    if (responsive) {
+        state.consecutive_misses = 0;
+        return;
+    }
+    ++counters_.heartbeat_misses;
+    ++state.consecutive_misses;
+    if (state.consecutive_misses >= config_.heartbeat_miss_threshold &&
+        CanSuspect(node)) {
+        MarkSuspect(node);
+    }
+}
+
+void HealthMonitor::OnTelemetry(const TelemetryEvent& event) {
+    if (event.node < 0 ||
+        event.node >= static_cast<int>(nodes_.size())) {
+        return;
+    }
+    ++counters_.telemetry_events;
+    NodeState& state = nodes_[static_cast<std::size_t>(event.node)];
+    if (state.dead) return;
+    if (IsCriticalTelemetry(event.kind)) {
+        if (CanSuspect(event.node)) {
+            MarkSuspect(event.node);
+        } else {
+            // Mid-investigation or cooldown. The publisher won't repeat
+            // the event (hard faults are transition-latched) and the
+            // host keeps answering heartbeats, so dropping it here
+            // would hide the fault forever: park the suspicion and
+            // retry once the hysteresis window clears.
+            state.pending_critical = true;
+            ScheduleCriticalRetry(event.node);
+        }
+        return;
+    }
+    if (state.investigating) return;
+    // Burst detection with a sliding window: one CRC drop is routine,
+    // a salvo is a failing component.
+    state.event_times.push_back(event.timestamp);
+    while (!state.event_times.empty() &&
+           state.event_times.front() +
+                   config_.telemetry_burst_window < event.timestamp) {
+        state.event_times.pop_front();
+    }
+    if (static_cast<int>(state.event_times.size()) >=
+            config_.telemetry_burst_threshold &&
+        CanSuspect(event.node)) {
+        MarkSuspect(event.node);
+    }
+}
+
+bool HealthMonitor::CanSuspect(int node) const {
+    const NodeState& state = nodes_[static_cast<std::size_t>(node)];
+    if (state.dead || state.investigating) return false;
+    if (state.has_concluded &&
+        simulator_->Now() - state.last_concluded <
+            config_.investigation_cooldown) {
+        return false;  // hysteresis: just looked at this machine
+    }
+    return true;
+}
+
+void HealthMonitor::ScheduleCriticalRetry(int node) {
+    NodeState& state = nodes_[static_cast<std::size_t>(node)];
+    if (state.critical_retry_scheduled) return;
+    state.critical_retry_scheduled = true;
+    simulator_->ScheduleDaemonAfter(
+        config_.investigation_cooldown, [this, node] {
+            NodeState& st = nodes_[static_cast<std::size_t>(node)];
+            st.critical_retry_scheduled = false;
+            if (!st.pending_critical || st.dead) return;
+            if (CanSuspect(node)) {
+                MarkSuspect(node);
+            } else {
+                ScheduleCriticalRetry(node);
+            }
+        });
+}
+
+void HealthMonitor::MarkSuspect(int node) {
+    NodeState& state = nodes_[static_cast<std::size_t>(node)];
+    state.investigating = true;  // claims the node until the report lands
+    state.consecutive_misses = 0;
+    state.event_times.clear();
+    // The investigation's health query observes any latched fault.
+    state.pending_critical = false;
+    pending_suspects_.push_back(node);
+    LOG_INFO("health_monitor") << "node " << node << " suspect (watchdog)";
+    if (flush_scheduled_) return;
+    flush_scheduled_ = true;
+    // Same-tick batching: a ping sweep that finds several dead machines
+    // (a rack failure) files one investigation, not one per machine.
+    simulator_->ScheduleAfter(0, [this] { FlushSuspects(); });
+}
+
+void HealthMonitor::FlushSuspects() {
+    flush_scheduled_ = false;
+    if (pending_suspects_.empty()) return;
+    ++counters_.auto_investigations;
+    std::vector<int> suspects;
+    suspects.swap(pending_suspects_);
+    Investigate(std::move(suspects), [](std::vector<MachineReport>) {});
 }
 
 }  // namespace catapult::mgmt

@@ -9,10 +9,20 @@
 // "and the machine IDs of the north, south, east, and west neighbors of
 // an FPGA, to test whether the neighboring FPGAs in the torus are
 // accessible and that they are the machines that the system expects."
+//
+// Suspicion itself is automated here (the autonomic plane): a heartbeat
+// watchdog pings every host over simulated Ethernet and a telemetry
+// subscription watches the fault-event bus; consecutive missed
+// heartbeats or event bursts form suspect sets that are fed through the
+// same Investigate() ladder a caller could invoke by hand. Confirmed
+// MachineReports fan out to every registered failure subscriber (the
+// Mapping Manager's re-mapping path and the ServicePool's automatic
+// ring recovery).
 
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
@@ -20,6 +30,7 @@
 #include "common/units.h"
 #include "fabric/catapult_fabric.h"
 #include "host/host_server.h"
+#include "mgmt/telemetry_bus.h"
 #include "shell/shell.h"
 #include "sim/simulator.h"
 
@@ -36,6 +47,13 @@ enum class FaultType {
     kApplicationError,
     kPcieError,
     kTemperatureShutdown,
+    /**
+     * Host responsive and the FPGA healthy, but its shell still has RX
+     * Halt engaged: the machine rebooted behind the plane's back (§3.4:
+     * a freshly configured FPGA drops link traffic until the Mapping
+     * Manager releases it) and is stranded until re-mapped.
+     */
+    kStrandedRxHalt,
 };
 
 const char* ToString(FaultType type);
@@ -56,6 +74,26 @@ class HealthMonitor {
         Time ethernet_latency = Microseconds(150);
         /** Wait for a status reply before declaring unresponsive. */
         Time query_timeout = Seconds(2);
+
+        // --- Watchdog (heartbeats + telemetry bursts) ----------------
+
+        /** Interval between heartbeat ping sweeps over the pod. */
+        Time heartbeat_period = Milliseconds(50);
+        /** Consecutive missed heartbeats before a node is suspect. */
+        int heartbeat_miss_threshold = 3;
+        /**
+         * Non-critical telemetry events from one node within
+         * `telemetry_burst_window` before it is suspect. Critical kinds
+         * (IsCriticalTelemetry) suspect on the first event.
+         */
+        int telemetry_burst_threshold = 3;
+        Time telemetry_burst_window = Milliseconds(20);
+        /**
+         * Quiet period per node after an investigation concludes;
+         * hysteresis so one lingering symptom does not re-investigate
+         * in a loop.
+         */
+        Time investigation_cooldown = Milliseconds(250);
     };
 
     HealthMonitor(sim::Simulator* simulator, fabric::CatapultFabric* fabric,
@@ -70,14 +108,41 @@ class HealthMonitor {
     /**
      * Investigate a set of suspect machines; the reports arrive via
      * `on_done` after queries and any needed reboot ladder. Machines
-     * with faults are appended to the failed-machine list, and the
-     * `on_machine_failed` hook (typically wired to the Mapping Manager)
-     * fires for each.
+     * with faults are appended to the failed-machine list, and every
+     * failure subscriber fires for each. This is the explicit entry
+     * point the watchdog funnels into; callers may still invoke it by
+     * hand (maintenance sweeps, tests).
      */
     void Investigate(std::vector<int> nodes,
                      std::function<void(std::vector<MachineReport>)> on_done);
 
-    /** Hook invoked for every faulted machine (drives re-mapping). */
+    // --- Autonomic plane -------------------------------------------------
+
+    /**
+     * Subscribe to the fault-event bus: bursts of events (or a single
+     * critical event) from a node mark it suspect, exactly as missed
+     * heartbeats do.
+     */
+    void AttachTelemetry(TelemetryBus* bus);
+
+    /**
+     * Start the heartbeat watchdog: every `heartbeat_period` each host
+     * is pinged over simulated Ethernet (daemon events — an idle pod
+     * does not keep the simulation alive). Suspects from misses or
+     * telemetry bursts are investigated automatically.
+     */
+    void StartWatchdog();
+    void StopWatchdog();
+    bool watchdog_running() const { return watchdog_running_; }
+
+    /**
+     * Register a confirmed-failure subscriber; fires (after the legacy
+     * `on_machine_failed` hook) for every faulted MachineReport, from
+     * both automatic and explicit investigations.
+     */
+    int AddFailureSubscriber(std::function<void(const MachineReport&)> fn);
+
+    /** Legacy single hook (kept as a shim; drives re-mapping). */
     void set_on_machine_failed(std::function<void(const MachineReport&)> cb) {
         on_machine_failed_ = std::move(cb);
     }
@@ -86,17 +151,45 @@ class HealthMonitor {
         return failed_machines_;
     }
 
+    /** Nodes flagged for manual service; excluded from heartbeats. */
+    bool node_dead(int node) const {
+        return nodes_[static_cast<std::size_t>(node)].dead;
+    }
+
     struct Counters {
         std::uint64_t investigations = 0;
         std::uint64_t queries = 0;
         std::uint64_t soft_reboots = 0;
         std::uint64_t hard_reboots = 0;
         std::uint64_t flagged_for_service = 0;
+        // Watchdog instrumentation.
+        std::uint64_t heartbeats_sent = 0;
+        std::uint64_t heartbeat_misses = 0;
+        std::uint64_t telemetry_events = 0;
+        std::uint64_t auto_investigations = 0;
     };
     const Counters& counters() const { return counters_; }
 
   private:
     struct Context;
+
+    /** Per-node watchdog state. */
+    struct NodeState {
+        int consecutive_misses = 0;
+        std::deque<Time> event_times;  ///< Non-critical telemetry burst.
+        bool investigating = false;
+        bool has_concluded = false;
+        Time last_concluded = 0;
+        bool dead = false;  ///< kUnresponsiveFatal: awaiting manual service.
+        /**
+         * A critical event landed while the node was mid-investigation
+         * or in its cooldown. Publishers latch hard faults (one event
+         * per excursion) and the host keeps answering heartbeats, so
+         * the suspicion is parked and retried rather than dropped.
+         */
+        bool pending_critical = false;
+        bool critical_retry_scheduled = false;
+    };
 
     void QueryMachine(std::shared_ptr<Context> ctx, std::size_t idx);
     void HandleResponsive(std::shared_ptr<Context> ctx, std::size_t idx,
@@ -107,12 +200,29 @@ class HealthMonitor {
     /** Classify an error vector into the dominant fault type. */
     FaultType Classify(int node, const shell::HealthVector& health) const;
 
+    void HeartbeatSweep();
+    void OnHeartbeatResult(int node, bool responsive);
+    void OnTelemetry(const TelemetryEvent& event);
+    /** True when the watchdog may open a new investigation of `node`. */
+    bool CanSuspect(int node) const;
+    void MarkSuspect(int node);
+    void ScheduleCriticalRetry(int node);
+    void FlushSuspects();
+
     sim::Simulator* simulator_;
     fabric::CatapultFabric* fabric_;
     std::vector<host::HostServer*> hosts_;
     Config config_;
     std::vector<MachineReport> failed_machines_;
     std::function<void(const MachineReport&)> on_machine_failed_;
+    std::vector<std::function<void(const MachineReport&)>> subscribers_;
+    std::vector<NodeState> nodes_;
+    std::vector<int> pending_suspects_;
+    bool flush_scheduled_ = false;
+    bool watchdog_running_ = false;
+    std::uint64_t watchdog_epoch_ = 0;  ///< Orphans stale sweep callbacks.
+    TelemetryBus* telemetry_ = nullptr;
+    TelemetryBus::SubscriberId telemetry_subscription_ = 0;
     Counters counters_;
 };
 

@@ -1,0 +1,74 @@
+#include "mgmt/telemetry_bus.h"
+
+#include <cassert>
+
+namespace catapult::mgmt {
+
+const char* ToString(TelemetryKind kind) {
+    switch (kind) {
+      case TelemetryKind::kLinkCrcError: return "link_crc_error";
+      case TelemetryKind::kLinkDown: return "link_down";
+      case TelemetryKind::kDramEccFault: return "dram_ecc_fault";
+      case TelemetryKind::kDramCalibrationLoss: return "dram_calibration_loss";
+      case TelemetryKind::kSeuRoleCorruption: return "seu_role_corruption";
+      case TelemetryKind::kTemperatureShutdown: return "temperature_shutdown";
+      case TelemetryKind::kDmaStall: return "dma_stall";
+      case TelemetryKind::kApplicationError: return "application_error";
+    }
+    return "?";
+}
+
+bool IsCriticalTelemetry(TelemetryKind kind) {
+    switch (kind) {
+      case TelemetryKind::kTemperatureShutdown:
+      case TelemetryKind::kDramCalibrationLoss:
+        return true;
+      default:
+        return false;
+    }
+}
+
+TelemetryBus::TelemetryBus(sim::Simulator* simulator)
+    : simulator_(simulator) {
+    assert(simulator_ != nullptr);
+}
+
+void TelemetryBus::Publish(int node, TelemetryKind kind) {
+    ++counters_.published;
+    TelemetryEvent event;
+    event.node = node;
+    event.kind = kind;
+    event.timestamp = simulator_->Now();
+    // Index-based walk: a subscriber callback may subscribe (growing the
+    // vector) or publish again without invalidating this iteration.
+    // Unsubscribing only nulls the slot, so indices stay stable.
+    for (std::size_t i = 0; i < subscribers_.size(); ++i) {
+        if (!subscribers_[i].fn) continue;
+        ++counters_.delivered;
+        subscribers_[i].fn(event);
+    }
+}
+
+TelemetryBus::SubscriberId TelemetryBus::Subscribe(
+    std::function<void(const TelemetryEvent&)> fn) {
+    assert(fn != nullptr);
+    const SubscriberId id = next_id_++;
+    subscribers_.push_back(Subscriber{id, std::move(fn)});
+    return id;
+}
+
+void TelemetryBus::Unsubscribe(SubscriberId id) {
+    for (auto& subscriber : subscribers_) {
+        if (subscriber.id == id) subscriber.fn = nullptr;
+    }
+}
+
+int TelemetryBus::subscriber_count() const {
+    int count = 0;
+    for (const auto& subscriber : subscribers_) {
+        if (subscriber.fn) ++count;
+    }
+    return count;
+}
+
+}  // namespace catapult::mgmt

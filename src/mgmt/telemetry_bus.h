@@ -1,0 +1,99 @@
+// Telemetry bus: the event spine of the autonomic health plane.
+//
+// §3.3/§3.5 describe a management plane that notices failures and heals
+// the pod without operator action. The pull half of that loop is the
+// Health Monitor's status query; this bus is the push half: shell and
+// FPGA components (SL3 links, DRAM controllers, the DMA engine, the SEU
+// scrubber, the thermal model) publish fault events the moment they
+// observe them, instead of only accumulating counters for the next
+// CollectHealth() poll. Subscribers — chiefly the Health Monitor's
+// watchdog — turn event bursts into suspect sets for investigation.
+//
+// The bus lives in the mgmt namespace but builds as its own low-level
+// library (catapult_telemetry): the publishing layers sit *below* the
+// management plane in the link graph (mgmt -> fabric -> shell), so the
+// bus they publish into can depend only on the simulation kernel.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace catapult::mgmt {
+
+/** Fault classes published by the shell/FPGA layers (§3.5's vector). */
+enum class TelemetryKind {
+    kLinkCrcError,        ///< SL3 double-bit / CRC packet drop.
+    kLinkDown,            ///< SL3 lane lock lost (defect or flap).
+    kDramEccFault,        ///< Uncorrectable DRAM ECC event.
+    kDramCalibrationLoss, ///< DIMM dropped calibration.
+    kSeuRoleCorruption,   ///< Critical configuration upset hit the role.
+    kTemperatureShutdown, ///< Die crossed the rated junction temperature.
+    kDmaStall,            ///< Host not draining output slots.
+    kApplicationError,    ///< Role-level corruption / unprotected garbage.
+};
+
+const char* ToString(TelemetryKind kind);
+
+/**
+ * Kinds that are individually investigation-worthy. Everything else is
+ * noise-tolerant: one CRC drop or one stalled slot is routine, and the
+ * watchdog only reacts to bursts of them (hysteresis against transient
+ * faults).
+ */
+bool IsCriticalTelemetry(TelemetryKind kind);
+
+/** One fault observation, stamped with simulated time at publish. */
+struct TelemetryEvent {
+    int node = -1;  ///< Pod-local node index of the publishing shell.
+    TelemetryKind kind = TelemetryKind::kApplicationError;
+    Time timestamp = 0;
+};
+
+class TelemetryBus {
+  public:
+    using SubscriberId = int;
+
+    explicit TelemetryBus(sim::Simulator* simulator);
+
+    TelemetryBus(const TelemetryBus&) = delete;
+    TelemetryBus& operator=(const TelemetryBus&) = delete;
+
+    /**
+     * Deliver `event` (timestamped with the current simulated time) to
+     * every subscriber, synchronously. Publishing from a subscriber
+     * callback is allowed; the nested event is delivered to subscribers
+     * registered at the time of the nested publish.
+     */
+    void Publish(int node, TelemetryKind kind);
+
+    /** Subscribe; the returned id can be passed to Unsubscribe. */
+    SubscriberId Subscribe(std::function<void(const TelemetryEvent&)> fn);
+
+    /** Remove a subscriber; no-op for unknown ids. */
+    void Unsubscribe(SubscriberId id);
+
+    struct Counters {
+        std::uint64_t published = 0;
+        std::uint64_t delivered = 0;  ///< published x subscribers.
+    };
+    const Counters& counters() const { return counters_; }
+    int subscriber_count() const;
+
+  private:
+    struct Subscriber {
+        SubscriberId id;
+        std::function<void(const TelemetryEvent&)> fn;
+    };
+
+    sim::Simulator* simulator_;
+    std::vector<Subscriber> subscribers_;
+    SubscriberId next_id_ = 1;
+    Counters counters_;
+};
+
+}  // namespace catapult::mgmt

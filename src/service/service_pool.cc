@@ -1,11 +1,26 @@
 #include "service/service_pool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 
 #include "common/log.h"
 
 namespace catapult::service {
+
+namespace {
+
+// Ring-relative column offset of `col` in `placement` (rings wrap the
+// torus row), or -1 when the column falls outside the placement's span.
+// The dispatcher and the health plane must agree on node ownership, so
+// this is the one place the geometry lives.
+int ColumnOffsetInRing(const mgmt::RingPlacement& placement, int col,
+                       int cols) {
+    const int offset = ((col - placement.head_col) % cols + cols) % cols;
+    return offset < placement.length ? offset : -1;
+}
+
+}  // namespace
 
 ServicePool::ServicePool(sim::Simulator* simulator,
                          fabric::CatapultFabric* fabric,
@@ -188,8 +203,8 @@ host::SendStatus ServicePool::InjectFrom(
     }
     RingSlot& slot = rings_[static_cast<std::size_t>(ring_id)];
     const int cols = fabric_->topology().cols();
-    int position = ((coord.col - slot.placement.head_col) % cols + cols) % cols;
-    if (position >= slot.placement.length ||
+    int position = ColumnOffsetInRing(slot.placement, coord.col, cols);
+    if (position < 0 ||
         !slot.service->host(position)->responsive()) {
         // The injector's column is outside this ring's span (possible
         // on non-full-row rings), or that server is down: fall back to
@@ -216,19 +231,167 @@ void ServicePool::RecoverRing(int ring_id, int failed_ring_index,
         << name() << ": ring " << ring_id
         << " drained for recovery (failed position " << failed_ring_index
         << "); " << ring_count() - DrainedRings() << " ring(s) serving";
+    if (on_ring_drained_) on_ring_drained_(ring_id);
+    // Idempotent rotation: a redeploy retry (or a second report for the
+    // same incident) finds the spare already over the failed position
+    // and must not rotate the pipeline back onto the dead node.
+    const bool already_rotated =
+        slot.service->StageAt(failed_ring_index) == rank::PipelineStage::kSpare;
     EnqueueDeployment(
-        [this, ring_id, failed_ring_index](std::function<void(bool)> cb) {
-            rings_[static_cast<std::size_t>(ring_id)]
-                .service->RotateRingAround(failed_ring_index, std::move(cb));
+        [this, ring_id, failed_ring_index,
+         already_rotated](std::function<void(bool)> cb) {
+            RankingService* service =
+                rings_[static_cast<std::size_t>(ring_id)].service.get();
+            if (already_rotated) {
+                service->Deploy(std::move(cb));
+            } else {
+                service->RotateRingAround(failed_ring_index, std::move(cb));
+            }
         },
         [this, ring_id, on_done = std::move(on_done)](bool ok) {
             if (ok) {
-                rings_[static_cast<std::size_t>(ring_id)].available = true;
+                RingSlot& recovered = rings_[static_cast<std::size_t>(ring_id)];
+                recovered.available = true;
+                recovered.ever_recovered = true;
+                recovered.last_recovery_done = simulator_->Now();
                 LOG_INFO("service_pool") << name() << ": ring "
                                          << ring_id << " rejoined rotation";
+                if (on_ring_recovered_) on_ring_recovered_(ring_id);
             }
             if (on_done) on_done(ok);
         });
+}
+
+int ServicePool::RingOfNode(int node, int* position) const {
+    const auto coord = fabric_->topology().CoordOf(node);
+    const int cols = fabric_->topology().cols();
+    for (int k = 0; k < ring_count(); ++k) {
+        const mgmt::RingPlacement& placement =
+            rings_[static_cast<std::size_t>(k)].placement;
+        if (placement.row != coord.row) continue;
+        const int offset = ColumnOffsetInRing(placement, coord.col, cols);
+        if (offset < 0) continue;
+        if (position != nullptr) *position = offset;
+        return k;
+    }
+    return -1;
+}
+
+bool ServicePool::HandleMachineReport(const mgmt::MachineReport& report) {
+    if (report.fault == mgmt::FaultType::kNone) return false;
+    int position = -1;
+    const int ring_id = RingOfNode(report.node, &position);
+    if (ring_id < 0) return false;
+    RingSlot& slot = rings_[static_cast<std::size_t>(ring_id)];
+    if (slot.service->StageAt(position) == rank::PipelineStage::kSpare) {
+        // The node is already rotated out of the pipeline; nothing to
+        // drain. Let the caller re-map it in place so it can serve as a
+        // healthy spare again.
+        return false;
+    }
+    // Hysteresis: one recovery in flight per ring, and a quiet period
+    // after a rejoin so confirmations of the same incident (a second
+    // investigation, a lingering symptom) do not thrash the ring.
+    if (slot.recovering ||
+        (slot.ever_recovered &&
+         simulator_->Now() - slot.last_recovery_done <
+             config_.recovery_cooldown)) {
+        ++counters_.suppressed_reports;
+        // Absorb, don't drop: this can be a *different* node of the same
+        // ring failing inside the hysteresis window, and its stage would
+        // time out forever if the report vanished. Re-examine the
+        // position once the ring settles; same-incident duplicates find
+        // the spare there by then and evaporate.
+        std::vector<int>& deferred = slot.deferred_positions;
+        if (std::find(deferred.begin(), deferred.end(), position) ==
+            deferred.end()) {
+            deferred.push_back(position);
+        }
+        ScheduleDeferredFlush(ring_id);
+        return true;
+    }
+    StartAutoRecovery(ring_id, position,
+                      "health plane reports node " +
+                          std::to_string(report.node) + " (" +
+                          mgmt::ToString(report.fault) + ")");
+    return true;
+}
+
+void ServicePool::StartAutoRecovery(int ring_id, int position,
+                                    const std::string& why) {
+    rings_[static_cast<std::size_t>(ring_id)].recovering = true;
+    ++counters_.auto_recoveries;
+    LOG_INFO("service_pool")
+        << name() << ": " << why << " -> recovering ring " << ring_id
+        << " around position " << position;
+    AutoRecover(ring_id, position, /*attempt=*/0);
+}
+
+void ServicePool::AutoRecover(int ring_id, int failed_ring_index,
+                              int attempt) {
+    RecoverRing(ring_id, failed_ring_index, [this, ring_id, failed_ring_index,
+                                             attempt](bool ok) {
+        RingSlot& slot = rings_[static_cast<std::size_t>(ring_id)];
+        if (ok) {
+            slot.recovering = false;
+            FlushDeferredReports(ring_id);
+            return;
+        }
+        if (attempt + 1 >= config_.recovery_max_attempts) {
+            slot.recovering = false;
+            ++counters_.failed_recoveries;
+            LOG_ERROR("service_pool")
+                << name() << ": ring " << ring_id << " recovery abandoned "
+                << "after " << config_.recovery_max_attempts << " attempts";
+            FlushDeferredReports(ring_id);
+            return;
+        }
+        // The redeploy can race a host still mid-reboot; back off and
+        // retry (the rotation half is idempotent).
+        simulator_->ScheduleAfter(
+            config_.recovery_retry_delay, [this, ring_id, failed_ring_index,
+                                           attempt] {
+                AutoRecover(ring_id, failed_ring_index, attempt + 1);
+            });
+    });
+}
+
+void ServicePool::ScheduleDeferredFlush(int ring_id) {
+    RingSlot& slot = rings_[static_cast<std::size_t>(ring_id)];
+    // A recovery in flight flushes on completion; only the cooldown
+    // needs a timer.
+    if (slot.deferred_flush_scheduled || slot.recovering) return;
+    const Time elapsed = simulator_->Now() - slot.last_recovery_done;
+    const Time remaining =
+        std::max<Time>(config_.recovery_cooldown - elapsed, 0);
+    slot.deferred_flush_scheduled = true;
+    simulator_->ScheduleAfter(remaining, [this, ring_id] {
+        rings_[static_cast<std::size_t>(ring_id)].deferred_flush_scheduled =
+            false;
+        FlushDeferredReports(ring_id);
+    });
+}
+
+void ServicePool::FlushDeferredReports(int ring_id) {
+    RingSlot& slot = rings_[static_cast<std::size_t>(ring_id)];
+    if (slot.deferred_positions.empty() || slot.recovering) return;
+    if (slot.ever_recovered &&
+        simulator_->Now() - slot.last_recovery_done <
+            config_.recovery_cooldown) {
+        ScheduleDeferredFlush(ring_id);
+        return;
+    }
+    while (!slot.deferred_positions.empty()) {
+        const int position = slot.deferred_positions.front();
+        slot.deferred_positions.erase(slot.deferred_positions.begin());
+        if (slot.service->StageAt(position) == rank::PipelineStage::kSpare) {
+            // Same-incident duplicate: the recovery already rotated the
+            // failed node out and the redeploy reconfigured it.
+            continue;
+        }
+        StartAutoRecovery(ring_id, position, "deferred health report");
+        return;
+    }
 }
 
 void ServicePool::SetRingAvailable(int ring_id, bool available) {

@@ -10,6 +10,15 @@
 // rotation recovers it. A pool of one ring behaves exactly like the old
 // single-ring service, which keeps the whole pre-pool test surface
 // green.
+//
+// Failure handling is autonomic (§3.3, §3.5): the pool subscribes to
+// the Health Monitor's confirmed MachineReports, maps a failed node to
+// its owning ring through the PodScheduler placement, and triggers the
+// drain / spare-rotation / redeploy / rejoin sequence itself — with
+// hysteresis (one recovery in flight per ring, a cooldown after
+// rejoin, bounded redeploy retries) so a transient fault cannot thrash
+// a ring out of rotation. RecoverRing remains callable by hand and is
+// the same code path the subscriber uses.
 
 #pragma once
 
@@ -20,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "mgmt/health_monitor.h"
 #include "mgmt/pod_scheduler.h"
 #include "service/query_dispatcher.h"
 #include "service/ranking_service.h"
@@ -38,6 +48,19 @@ class ServicePool {
          * "<service_name>/ring<k>".
          */
         RankingService::Config ring;
+
+        // --- Auto-recovery hysteresis --------------------------------
+
+        /**
+         * Quiet period per ring after a recovery rejoins rotation;
+         * reports confirming the same incident are absorbed instead of
+         * rotating the ring again.
+         */
+        Time recovery_cooldown = Milliseconds(500);
+        /** Redeploy attempts per recovery before giving up. */
+        int recovery_max_attempts = 3;
+        /** Delay between redeploy attempts. */
+        Time recovery_retry_delay = Milliseconds(100);
     };
 
     /**
@@ -86,10 +109,36 @@ class ServicePool {
      * Ring failure handling: immediately drain ring `ring_id` out of
      * dispatch rotation, rotate its spare over `failed_ring_index`
      * (§4.2) and redeploy; the ring rejoins rotation on success.
-     * Traffic keeps flowing to surviving rings throughout.
+     * Traffic keeps flowing to surviving rings throughout. Idempotent
+     * on the rotation: if the failed position already holds the spare
+     * (a retry, or a second report for the same incident) only the
+     * redeploy runs.
      */
     void RecoverRing(int ring_id, int failed_ring_index,
                      std::function<void(bool)> on_done);
+
+    /**
+     * Health-plane entry point: a confirmed MachineReport from the
+     * Health Monitor. Maps the node to its owning ring via the
+     * scheduler placement and starts an automatic recovery (with
+     * hysteresis and bounded retries). Returns true when the report
+     * concerned a node holding an active stage of one of this pool's
+     * rings — i.e. this pool owns the response — false when the node
+     * is not the pool's to handle (unplaced, or already rotated out as
+     * the spare) and the caller should fall back to re-mapping.
+     */
+    bool HandleMachineReport(const mgmt::MachineReport& report);
+
+    /** Ring owning `node`, or -1; `position` gets the ring index. */
+    int RingOfNode(int node, int* position) const;
+
+    /** Observability hooks for benches/tests (ring id argument). */
+    void set_on_ring_drained(std::function<void(int)> cb) {
+        on_ring_drained_ = std::move(cb);
+    }
+    void set_on_ring_recovered(std::function<void(int)> cb) {
+        on_ring_recovered_ = std::move(cb);
+    }
 
     /** Manual drain / rejoin (maintenance). */
     void SetRingAvailable(int ring_id, bool available);
@@ -120,6 +169,12 @@ class ServicePool {
         /** Rejected because no ring was in rotation. */
         std::uint64_t rejected = 0;
         std::uint64_t recoveries = 0;
+        /** Recoveries initiated by the health plane (no explicit call). */
+        std::uint64_t auto_recoveries = 0;
+        /** Reports absorbed by hysteresis (in flight / cooldown). */
+        std::uint64_t suppressed_reports = 0;
+        /** Recoveries abandoned after recovery_max_attempts. */
+        std::uint64_t failed_recoveries = 0;
     };
     const Counters& counters() const { return counters_; }
 
@@ -133,12 +188,28 @@ class ServicePool {
         bool available = false;  ///< enters rotation once deployed
         int in_flight = 0;
         int next_inject_position = 0;
+        // Auto-recovery hysteresis state.
+        bool recovering = false;
+        bool ever_recovered = false;
+        Time last_recovery_done = 0;
+        /**
+         * Positions whose reports were absorbed mid-recovery/cooldown;
+         * re-examined once the ring settles (a different node of the
+         * same ring can fail inside the hysteresis window, and its
+         * stage would otherwise time out forever).
+         */
+        std::vector<int> deferred_positions;
+        bool deferred_flush_scheduled = false;
     };
 
     host::SendStatus InjectOnRing(int ring_id, int ring_position, int thread,
                                   const rank::CompressedRequest& request,
                                   std::function<void(const ScoreResult&)> on_complete);
     int NextResponsivePosition(RingSlot& slot);
+    void AutoRecover(int ring_id, int failed_ring_index, int attempt);
+    void StartAutoRecovery(int ring_id, int position, const std::string& why);
+    void ScheduleDeferredFlush(int ring_id);
+    void FlushDeferredReports(int ring_id);
     const std::vector<RingView>& Snapshot();
     int DrainedRings() const;
 
@@ -158,6 +229,8 @@ class ServicePool {
     std::vector<RingView> snapshot_;  ///< reused per dispatch (hot path)
     std::queue<std::function<void()>> deployment_queue_;
     bool deployment_in_flight_ = false;
+    std::function<void(int)> on_ring_drained_;
+    std::function<void(int)> on_ring_recovered_;
     Counters counters_;
 };
 

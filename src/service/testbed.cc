@@ -4,6 +4,7 @@ namespace catapult::service {
 
 PodTestbed::PodTestbed(Config config) : config_(std::move(config)) {
     Rng rng(config_.seed);
+    telemetry_ = std::make_unique<mgmt::TelemetryBus>(&simulator_);
     fabric_ = std::make_unique<fabric::CatapultFabric>(&simulator_, rng.Fork(),
                                                        config_.fabric);
     for (int i = 0; i < fabric_->node_count(); ++i) {
@@ -16,7 +17,7 @@ PodTestbed::PodTestbed(Config config) : config_(std::move(config)) {
     mapping_manager_ = std::make_unique<mgmt::MappingManager>(
         &simulator_, fabric_.get(), hosts_);
     health_monitor_ = std::make_unique<mgmt::HealthMonitor>(
-        &simulator_, fabric_.get(), hosts_);
+        &simulator_, fabric_.get(), hosts_, config_.health);
     failure_injector_ = std::make_unique<mgmt::FailureInjector>(
         &simulator_, fabric_.get(), hosts_, rng.Fork());
     scheduler_ = std::make_unique<mgmt::PodScheduler>(fabric_->topology());
@@ -28,6 +29,39 @@ PodTestbed::PodTestbed(Config config) : config_(std::move(config)) {
                                           mapping_manager_.get(),
                                           scheduler_.get(),
                                           std::move(pool_config));
+
+    if (!config_.autonomic) return;
+    // The autonomic loop (§3.3, §3.5): components publish faults, the
+    // watchdog turns missed heartbeats and event bursts into
+    // investigations, and confirmed reports heal the pod — the pool
+    // recovers rings whose active stages are hit; anything else with a
+    // mapped role (idle spares, stranded reboots) is reconfigured in
+    // place by the Mapping Manager.
+    fabric_->AttachTelemetry(telemetry_.get());
+    health_monitor_->AttachTelemetry(telemetry_.get());
+    health_monitor_->AddFailureSubscriber(
+        [this](const mgmt::MachineReport& report) {
+            if (pool_->HandleMachineReport(report)) return;
+            switch (report.fault) {
+              case mgmt::FaultType::kUnresponsiveRecovered:
+              case mgmt::FaultType::kStrandedRxHalt:
+              case mgmt::FaultType::kApplicationError:
+                // In-place reconfiguration clears corrupted role state
+                // and re-releases RX Halt (§3.5) — only for nodes that
+                // actually hold a mapped role; an idle node has no
+                // application image to restore.
+                if (!mapping_manager_->RoleAtNode(report.node).empty()) {
+                    mapping_manager_->ReconfigureInPlace(report.node,
+                                                         [](bool) {});
+                }
+                break;
+              default:
+                // Fatal (manual service), cable-class and thermal
+                // faults are not fixable by reconfiguration.
+                break;
+            }
+        });
+    health_monitor_->StartWatchdog();
 }
 
 bool PodTestbed::DeployAndSettle() {

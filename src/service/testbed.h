@@ -6,6 +6,13 @@
 // mgmt::PodScheduler and deploys `ring_count` rings (1..6 on a default
 // pod) through it as a service::ServicePool. `service()` keeps the
 // old single-ring surface alive as ring 0 of the pool.
+//
+// The autonomic health plane is wired by default: every shell/FPGA
+// publishes fault events onto a mgmt::TelemetryBus, the Health
+// Monitor's heartbeat watchdog runs from construction, and confirmed
+// MachineReports fan out to the ServicePool (automatic ring recovery)
+// with an in-place re-mapping fallback for nodes the pool does not own
+// — no explicit Investigate / RecoverRing calls needed.
 
 #pragma once
 
@@ -19,6 +26,7 @@
 #include "mgmt/health_monitor.h"
 #include "mgmt/mapping_manager.h"
 #include "mgmt/pod_scheduler.h"
+#include "mgmt/telemetry_bus.h"
 #include "service/ranking_service.h"
 #include "service/service_pool.h"
 #include "sim/simulator.h"
@@ -38,6 +46,15 @@ class PodTestbed {
         std::uint64_t seed = 0xBED5EEDull;
         /** Threads per host pre-registered with the slot driver. */
         int driver_threads = 32;
+        /** Health Monitor tuning (watchdog cadence, query timeout). */
+        mgmt::HealthMonitor::Config health;
+        /**
+         * Run the closed loop: telemetry bus attached, heartbeat
+         * watchdog started, MachineReports fanned out to the pool and
+         * the Mapping Manager. Off restores the pull-only plane where
+         * Investigate / RecoverRing run only when called.
+         */
+        bool autonomic = true;
     };
 
     explicit PodTestbed(Config config);
@@ -54,6 +71,7 @@ class PodTestbed {
     mgmt::HealthMonitor& health_monitor() { return *health_monitor_; }
     mgmt::FailureInjector& failure_injector() { return *failure_injector_; }
     mgmt::PodScheduler& scheduler() { return *scheduler_; }
+    mgmt::TelemetryBus& telemetry() { return *telemetry_; }
     ServicePool& pool() { return *pool_; }
     /** Ring 0 of the pool: the legacy single-ring surface. */
     RankingService& service() { return pool_->ring(0); }
@@ -61,6 +79,7 @@ class PodTestbed {
   private:
     Config config_;
     sim::Simulator simulator_;
+    std::unique_ptr<mgmt::TelemetryBus> telemetry_;
     std::unique_ptr<fabric::CatapultFabric> fabric_;
     std::vector<std::unique_ptr<host::HostServer>> hosts_storage_;
     std::vector<host::HostServer*> hosts_;

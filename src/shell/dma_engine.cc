@@ -80,6 +80,10 @@ void DmaEngine::PumpOutput(int slot) {
     if (output_full_[slot]) {
         // §3.1: the FPGA checks that the output slot is empty first.
         ++counters_.output_stalls;
+        if (telemetry_ != nullptr) {
+            telemetry_->Publish(telemetry_node_,
+                                mgmt::TelemetryKind::kDmaStall);
+        }
         return;  // retried when the host consumes the slot
     }
     output_dma_active_[slot] = true;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "mgmt/telemetry_bus.h"
 #include "shell/packet.h"
 #include "shell/pcie_link.h"
 #include "sim/simulator.h"
@@ -104,6 +105,16 @@ class DmaEngine {
     /** Device disappeared from PCIe (reconfiguration, §3.4). */
     void set_device_present(bool present);
 
+    /**
+     * Publish output-slot stalls (host not draining results) as
+     * health-plane events. Transfer failures while the device is off
+     * the bus are expected reconfiguration noise and stay unpublished.
+     */
+    void AttachTelemetry(mgmt::TelemetryBus* bus, int node) {
+        telemetry_ = bus;
+        telemetry_node_ = node;
+    }
+
     const Counters& counters() const { return counters_; }
     PcieLink& host_to_fpga_link() { return h2f_; }
     PcieLink& fpga_to_host_link() { return f2h_; }
@@ -133,6 +144,8 @@ class DmaEngine {
     std::function<void(int)> on_input_cleared_;
     std::function<void(int, PacketPtr)> on_output_ready_;
     std::function<void(PacketPtr)> on_ingress_;
+    mgmt::TelemetryBus* telemetry_ = nullptr;
+    int telemetry_node_ = -1;
 };
 
 }  // namespace catapult::shell

@@ -27,6 +27,19 @@ Time DramController::TransferTime(Bytes size) const {
     return config_.access_latency + EffectiveBandwidth().SerializationTime(size);
 }
 
+void DramController::PublishTelemetry(mgmt::TelemetryKind kind) {
+    if (telemetry_ != nullptr) telemetry_->Publish(telemetry_node_, kind);
+}
+
+void DramController::set_calibrated(bool calibrated) {
+    const bool lost = status_.calibrated && !calibrated;
+    status_.calibrated = calibrated;
+    // Calibration loss is a hard fault (§3.5: the error vector carries
+    // "calibration failures"); publish the transition, not every failed
+    // transfer that follows it.
+    if (lost) PublishTelemetry(mgmt::TelemetryKind::kDramCalibrationLoss);
+}
+
 void DramController::Transfer(Bytes size, std::function<void(bool)> on_done) {
     queue_.push_back(Request{size, std::move(on_done)});
     Pump();
@@ -43,6 +56,7 @@ void DramController::Pump() {
         bool ok = status_.calibrated;
         if (ok && rng_.Chance(config_.double_bit_error_rate)) {
             ++status_.double_bit_errors;
+            PublishTelemetry(mgmt::TelemetryKind::kDramEccFault);
             ok = false;
         } else if (ok && rng_.Chance(config_.single_bit_error_rate)) {
             ++status_.single_bit_errors;  // corrected, transfer succeeds

@@ -19,6 +19,7 @@
 
 #include "common/rng.h"
 #include "common/units.h"
+#include "mgmt/telemetry_bus.h"
 #include "sim/simulator.h"
 
 namespace catapult::shell {
@@ -76,13 +77,21 @@ class DramController {
     Time TransferTime(Bytes size) const;
 
     /** Fail / restore DIMM calibration (failure injection). */
-    void set_calibrated(bool calibrated) { status_.calibrated = calibrated; }
+    void set_calibrated(bool calibrated);
+
+    /** Publish ECC faults / calibration loss as health-plane events. */
+    void AttachTelemetry(mgmt::TelemetryBus* bus, int node) {
+        telemetry_ = bus;
+        telemetry_node_ = node;
+    }
 
     const Status& status() const { return status_; }
     const Config& config() const { return config_; }
     std::size_t QueueDepth() const { return queue_.size(); }
 
   private:
+    void PublishTelemetry(mgmt::TelemetryKind kind);
+
     struct Request {
         Bytes size;
         std::function<void(bool)> on_done;
@@ -96,6 +105,8 @@ class DramController {
     Status status_;
     std::deque<Request> queue_;
     bool busy_ = false;
+    mgmt::TelemetryBus* telemetry_ = nullptr;
+    int telemetry_node_ = -1;
 };
 
 }  // namespace catapult::shell

@@ -50,7 +50,7 @@ Shell::Shell(sim::Simulator* simulator, NodeId node, std::string name,
         links_[i]->set_shell_version(config_.shell_version);
         links_[i]->SetRxHalt(true);
         links_[i]->set_on_corruption(
-            [this](const PacketPtr&) { application_error_ = true; });
+            [this](const PacketPtr&) { FlagApplicationError(); });
         router_.AttachLink(kLinkPorts[i], links_[i].get());
     }
     for (int c = 0; c < 2; ++c) {
@@ -186,6 +186,24 @@ void Shell::SetNeighborId(Port port, NodeId id) {
     neighbor_ids_[LinkIndex(port)] = id;
 }
 
+void Shell::AttachTelemetry(mgmt::TelemetryBus* bus, int node) {
+    telemetry_ = bus;
+    telemetry_node_ = node;
+    for (auto& link : links_) link->AttachTelemetry(bus, node);
+    for (auto& dram : dram_) dram->AttachTelemetry(bus, node);
+    dma_.AttachTelemetry(bus, node);
+}
+
+void Shell::FlagApplicationError() {
+    // Transition publish: corrupted state stays corrupted until a
+    // reconfiguration clears it, so repeat flags are not new faults.
+    if (!application_error_ && telemetry_ != nullptr) {
+        telemetry_->Publish(telemetry_node_,
+                            mgmt::TelemetryKind::kApplicationError);
+    }
+    application_error_ = true;
+}
+
 HealthVector Shell::CollectHealth() {
     HealthVector health;
     for (int i = 0; i < 4; ++i) {
@@ -219,6 +237,7 @@ HealthVector Shell::CollectHealth() {
                          dma_.fpga_to_host_link().counters().errors > 0;
     device_->UpdateThermals();
     health.temperature_shutdown = device_->thermal().over_temperature();
+    health.rx_halted = rx_halted_;
     return health;
 }
 

@@ -25,6 +25,7 @@
 
 #include "common/rng.h"
 #include "common/units.h"
+#include "mgmt/telemetry_bus.h"
 #include "fpga/fpga_device.h"
 #include "shell/dma_engine.h"
 #include "shell/dram_controller.h"
@@ -68,6 +69,13 @@ struct HealthVector {
     bool pll_lock_failure = false;
     bool pcie_errors = false;
     bool temperature_shutdown = false;
+    /**
+     * §3.4 state, not an error: the shell is discarding link traffic
+     * until the Mapping Manager releases it. Reported so the Health
+     * Monitor can spot a node that rebooted behind the plane's back
+     * and is stranded waiting for re-mapping.
+     */
+    bool rx_halted = false;
 
     bool AnyError() const;
 };
@@ -156,6 +164,14 @@ class Shell {
     /** Neighbour machine ID as wired (set by the fabric at cabling). */
     void SetNeighborId(Port port, NodeId id);
 
+    /**
+     * Wire this shell and its components (links, DRAM controllers, DMA
+     * engine) into the health plane: faults publish as events
+     * attributed to pod-local `node` instead of waiting for the next
+     * CollectHealth() poll.
+     */
+    void AttachTelemetry(mgmt::TelemetryBus* bus, int node);
+
     // --- Component access -------------------------------------------------
 
     Router& router() { return router_; }
@@ -168,7 +184,7 @@ class Shell {
     const Config& config() const { return config_; }
 
     /** Mark an application-level error (stage hang, untested input). */
-    void FlagApplicationError() { application_error_ = true; }
+    void FlagApplicationError();
     void ClearApplicationError() { application_error_ = false; }
 
   private:
@@ -190,6 +206,8 @@ class Shell {
     Role* role_ = nullptr;
     bool rx_halted_ = true;  // §3.4: comes up with RX Halt enabled
     bool application_error_ = false;
+    mgmt::TelemetryBus* telemetry_ = nullptr;
+    int telemetry_node_ = -1;
     bool partial_reconfig_active_ = false;
     std::uint64_t partial_drops_ = 0;
     fpga::Bitstream partial_role_image_;

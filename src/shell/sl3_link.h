@@ -25,6 +25,7 @@
 
 #include "common/rng.h"
 #include "common/units.h"
+#include "mgmt/telemetry_bus.h"
 #include "shell/packet.h"
 #include "sim/simulator.h"
 
@@ -142,11 +143,24 @@ class Sl3Link {
     const Config& config() const { return config_; }
     const std::string& name() const { return name_; }
 
-    /** Error-injection control for tests. */
+    /** Error-injection control for tests and the FailureInjector. */
     void set_bit_error_rate(double ber) { config_.bit_error_rate = ber; }
-    void set_defective(bool defective) { config_.defective = defective; }
+    void set_defective(bool defective);
+    bool defective() const { return config_.defective; }
+
+    /**
+     * Wire this endpoint into the health plane: CRC/double-bit drops
+     * and lock losses publish as fault events attributed to `node`
+     * (the pod-local index of the owning shell).
+     */
+    void AttachTelemetry(mgmt::TelemetryBus* bus, int node) {
+        telemetry_ = bus;
+        telemetry_node_ = node;
+    }
 
   private:
+    void PublishTelemetry(mgmt::TelemetryKind kind);
+
     void PumpTransmit();
     void Arrive(PacketPtr packet);
     void NotifyRxOccupancy();
@@ -177,6 +191,8 @@ class Sl3Link {
 
     std::function<void()> on_receive_;
     std::function<void(const PacketPtr&)> on_corruption_;
+    mgmt::TelemetryBus* telemetry_ = nullptr;
+    int telemetry_node_ = -1;
     Counters counters_;
 };
 

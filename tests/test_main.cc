@@ -1,13 +1,25 @@
 // Test entry point: silence the simulator's stderr logging so test
 // output stays readable (failure-injection tests provoke WARN spam by
-// design).
+// design). Set CATAPULT_TEST_LOG=info (or trace/debug/warn/error) to
+// see component logs while debugging a single test.
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
 
 #include "common/log.h"
 
 int main(int argc, char** argv) {
     ::testing::InitGoogleTest(&argc, argv);
-    catapult::Logger::set_level(catapult::LogLevel::kOff);
+    catapult::LogLevel level = catapult::LogLevel::kOff;
+    if (const char* env = std::getenv("CATAPULT_TEST_LOG")) {
+        if (std::strcmp(env, "trace") == 0) level = catapult::LogLevel::kTrace;
+        else if (std::strcmp(env, "debug") == 0) level = catapult::LogLevel::kDebug;
+        else if (std::strcmp(env, "info") == 0) level = catapult::LogLevel::kInfo;
+        else if (std::strcmp(env, "warn") == 0) level = catapult::LogLevel::kWarn;
+        else if (std::strcmp(env, "error") == 0) level = catapult::LogLevel::kError;
+    }
+    catapult::Logger::set_level(level);
     return RUN_ALL_TESTS();
 }

@@ -133,7 +133,13 @@ TEST(Resilience, MachineRebootRecoversAndServiceContinues) {
 }
 
 TEST(Resilience, UngracefulReconfigCorruptsButIsDetected) {
-    PodTestbed bed(FastConfig());
+    // Pull-only mode: this test checks that corruption *persists* until
+    // an explicit investigation attributes it — with the autonomic
+    // plane on, the watchdog would spot the crashed host and the ring
+    // redeploy would wipe the very corruption being asserted.
+    PodTestbed::Config config = FastConfig();
+    config.autonomic = false;
+    PodTestbed bed(config);
     ASSERT_TRUE(bed.DeployAndSettle());
     const int node = bed.service().RingNode(3);
     bed.failure_injector().ScheduleUngracefulReconfig(
@@ -171,10 +177,14 @@ TEST(Resilience, SeuStormEventuallyCorruptsRole) {
 }
 
 TEST(Resilience, EndToEndFailureHandlingLoop) {
-    // The full §3.5 loop: service notices unresponsiveness -> Health
-    // Monitor investigates -> Mapping Manager relocates (ring rotation)
-    // -> service resumes.
-    PodTestbed bed(FastConfig());
+    // The full §3.5 loop, hands-off: the heartbeat watchdog notices the
+    // unresponsive server, the Health Monitor runs the reboot ladder,
+    // the confirmed report fans out to the pool, and the ring rotates
+    // onto the spare — no explicit Investigate or RecoverRing call.
+    PodTestbed::Config config = FastConfig();
+    config.health.heartbeat_period = Milliseconds(10);
+    config.health.query_timeout = Milliseconds(50);
+    PodTestbed bed(config);
     ASSERT_TRUE(bed.DeployAndSettle());
 
     // The Scoring1 node's host dies hard (will need the reboot ladder).
@@ -182,21 +192,18 @@ TEST(Resilience, EndToEndFailureHandlingLoop) {
     const int node = bed.service().RingNode(failed_ring_index);
     bed.host(node).CrashAndReboot("production incident");
 
-    // Aggregator notices unresponsive server, invokes the Health Monitor.
-    std::vector<mgmt::MachineReport> reports;
-    bed.health_monitor().Investigate(
-        {node},
-        [&](std::vector<mgmt::MachineReport> r) { reports = std::move(r); });
-    bed.simulator().Run();
-    ASSERT_EQ(reports.size(), 1u);
+    // Detection + ladder + ring redeploy all happen inside this window;
+    // the horizon only keeps the clock moving for the daemon heartbeats.
+    bed.simulator().RunUntil(bed.simulator().Now() + Seconds(2));
 
-    // Whatever the fault classification, rotate the ring off the node
-    // and verify service health.
-    bool rotated = false;
-    bed.service().RotateRingAround(failed_ring_index,
-                                   [&](bool ok) { rotated = ok; });
-    bed.simulator().Run();
-    ASSERT_TRUE(rotated);
+    EXPECT_GE(bed.health_monitor().counters().auto_investigations, 1u);
+    ASSERT_FALSE(bed.health_monitor().failed_machine_list().empty());
+    EXPECT_EQ(bed.health_monitor().failed_machine_list().front().node, node);
+    EXPECT_GE(bed.pool().counters().auto_recoveries, 1u);
+    // The spare absorbed the lost stage and the ring rejoined rotation.
+    EXPECT_EQ(bed.service().StageAt(failed_ring_index),
+              rank::PipelineStage::kSpare);
+    EXPECT_TRUE(bed.pool().ring_available(0));
     EXPECT_EQ(InjectBatch(bed, 16, 23), 16);
 }
 
