@@ -1,0 +1,108 @@
+// Cross-pod federation walkthrough (§2, §3.5): two 48-node pods behind
+// one FederatedDispatcher serve query traffic; one pod loses its power
+// domain mid-run (every host dead, every shell RX-halted); the
+// dispatcher's circuit breaker and health-plane subscription latch the
+// dead pod out of rotation, in-flight queries caught on it re-inject
+// onto the survivor, and service continues without losing a single
+// accepted query.
+
+#include <cstdio>
+
+#include "rank/document_generator.h"
+#include "service/federation_testbed.h"
+#include "service/load_generator.h"
+
+using namespace catapult;
+
+int main() {
+    service::FederationTestbed::Config config;
+    config.pod_count = 2;
+    config.pod.ring_count = 2;
+    config.pod.fabric.device.configure_time = Milliseconds(5);
+    config.pod.host.soft_reboot_duration = Milliseconds(200);
+    config.pod.host.hard_reboot_duration = Milliseconds(500);
+    config.pod.host.crash_reboot_delay = Milliseconds(50);
+    config.pod.health.heartbeat_period = Milliseconds(10);
+    config.pod.health.query_timeout = Milliseconds(50);
+    service::FederationTestbed bed(config);
+    if (!bed.DeployAndSettle()) {
+        std::printf("deployment failed\n");
+        return 1;
+    }
+
+    // --- Two pods, one dispatcher -------------------------------------
+    std::printf("[t=%s] federation up: %d pods x %d rings, policy %s\n",
+                FormatTime(bed.simulator().Now()).c_str(), bed.pod_count(),
+                bed.pod(0).pool().ring_count(),
+                ToString(bed.dispatcher().policy()));
+    for (int p = 0; p < bed.pod_count(); ++p) {
+        std::printf("  pod %d: nodes [%d..%d], %d rings in rotation\n", p,
+                    static_cast<int>(bed.pod(p).fabric().node_base()),
+                    static_cast<int>(bed.pod(p).fabric().node_base()) +
+                        bed.pod(p).fabric().node_count() - 1,
+                    bed.pod(p).pool().available_rings());
+    }
+
+    // --- Paced traffic with a mid-run pod blackout --------------------
+    const Time blackout_at = bed.simulator().Now() + Milliseconds(30);
+    bed.pod(0).failure_injector().SchedulePodBlackout(blackout_at);
+    std::printf("[t=%s] pod 0 will lose power at t=%s\n",
+                FormatTime(bed.simulator().Now()).c_str(),
+                FormatTime(blackout_at).c_str());
+
+    rank::DocumentGenerator generator(7);
+    int accepted = 0;
+    int completed = 0;
+    int lost = 0;
+    auto inject_one = [&](int thread) {
+        rank::CompressedRequest request = generator.Next();
+        request.query.model_id = 0;
+        const auto status = bed.dispatcher().Inject(
+            thread, request, [&](const service::ScoreResult& r) {
+                if (r.ok) {
+                    ++completed;
+                } else {
+                    ++lost;
+                }
+            });
+        if (status == host::SendStatus::kOk) ++accepted;
+    };
+    // A burst just before the blackout (queries die mid-flight on pod 0
+    // and must re-inject on pod 1) plus steady pacing across the
+    // incident.
+    for (int b = 0; b < 16; ++b) {
+        bed.simulator().ScheduleAt(blackout_at - Microseconds(100),
+                                   [&, b] { inject_one(b); });
+    }
+    for (int i = 0; i < 1'200; ++i) {
+        bed.simulator().ScheduleAfter(Microseconds(50) * i + Milliseconds(1),
+                                      [&, i] { inject_one(i % 32); });
+    }
+    bed.simulator().Run();
+
+    // --- The survivor carried the service -----------------------------
+    const auto& counters = bed.dispatcher().counters();
+    std::printf("\n[t=%s] incident over:\n",
+                FormatTime(bed.simulator().Now()).c_str());
+    std::printf("  accepted=%d completed=%d lost=%d\n", accepted, completed,
+                lost);
+    std::printf("  failovers=%llu breaker_trips=%llu\n",
+                static_cast<unsigned long long>(counters.failovers),
+                static_cast<unsigned long long>(counters.breaker_trips));
+    std::printf("  pod 0: %d nodes dead, %s\n",
+                bed.dispatcher().pod_dead_nodes(0),
+                bed.dispatcher().pod_eligible(0) ? "STILL IN ROTATION"
+                                                 : "latched out of rotation");
+    std::printf("  pod 1: %llu queries dispatched, %d rings in rotation\n",
+                static_cast<unsigned long long>(
+                    bed.pod(1).pool().counters().dispatched),
+                bed.pod(1).pool().available_rings());
+
+    const bool ok = lost == 0 && completed == accepted && accepted > 0 &&
+                    !bed.dispatcher().pod_eligible(0) &&
+                    bed.dispatcher().pod_eligible(1) &&
+                    counters.failovers > 0;
+    std::printf("\n%s: every accepted query completed on the surviving pod\n",
+                ok ? "SUCCESS" : "FAILURE");
+    return ok ? 0 : 1;
+}

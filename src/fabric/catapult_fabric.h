@@ -35,6 +35,7 @@ class CatapultFabric {
   public:
     struct Config {
         TorusTopology topology;           ///< Default 6x8.
+        int pod_id = 0;                   ///< Pod index within a federation.
         shell::NodeId node_base = 0;      ///< Global id of pod-local node 0.
         std::string name_prefix = "pod0";
         /** Probability a card fails at manufacture/integration (§2.3). */
@@ -54,6 +55,7 @@ class CatapultFabric {
 
     const TorusTopology& topology() const { return config_.topology; }
     int node_count() const { return config_.topology.node_count(); }
+    int pod_id() const { return config_.pod_id; }
     shell::NodeId node_base() const { return config_.node_base; }
 
     /** Global node id of pod-local index `i`. */

@@ -26,6 +26,28 @@ void FailureInjector::ScheduleMachineReboot(int node, Time when) {
     });
 }
 
+void FailureInjector::SchedulePodBlackout(Time when) {
+    ++injected_;
+    simulator_->ScheduleAt(when, [this] {
+        LOG_WARN("inject") << "pod blackout: " << hosts_.size()
+                           << " hosts lost";
+        for (std::size_t i = 0; i < hosts_.size(); ++i) {
+            // Permanent: soft and hard reboots both fail, so the
+            // Health Monitor's ladder flags every node for service.
+            hosts_[i]->BreakBoot(/*soft_failures=*/1'000'000,
+                                 /*permanent=*/true);
+            hosts_[i]->CrashAndReboot("pod blackout");
+            // The power domain takes the FPGAs with it: every shell's
+            // links go dark the same instant (RX Halt engaged, §3.4),
+            // so in-flight documents on the pod's rings are dropped
+            // and surface as driver timeouts at their injectors — and
+            // with no live host to release the halt, the pod stays
+            // dark until manual service.
+            fabric_->shell(static_cast<int>(i)).EngageRxHalt();
+        }
+    });
+}
+
 void FailureInjector::ScheduleApplicationHang(int node, Time when) {
     ++injected_;
     simulator_->ScheduleAt(when, [this, node] {

@@ -32,6 +32,15 @@ class FailureInjector {
     /** Surprise maintenance reboot of `node` at `when`. */
     void ScheduleMachineReboot(int node, Time when);
 
+    /**
+     * Whole-pod blackout at `when`: every host crashes with its boot
+     * path permanently broken (power/cooling domain loss). The §3.5
+     * ladder ends in flag-for-manual-service for every node, so the
+     * pod never returns — the federation's dispatcher must carry the
+     * traffic on surviving pods.
+     */
+    void SchedulePodBlackout(Time when);
+
     /** Application hang: the role stops responding at `when`. */
     void ScheduleApplicationHang(int node, Time when);
 

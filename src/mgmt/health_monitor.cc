@@ -43,6 +43,16 @@ HealthMonitor::HealthMonitor(sim::Simulator* simulator,
     assert(fabric_ != nullptr);
 }
 
+HealthMonitor::~HealthMonitor() {
+    StopWatchdog();
+    // telemetry_subscription_ unsubscribes itself, so the bus can
+    // never call back into this object. Simulator events are a
+    // different matter: queued sweep/investigation callbacks capture
+    // `this` and cannot be cancelled from here, so the monitor must
+    // only be destroyed once its simulator has drained (PodContext and
+    // the testbeds destroy the two together, after Run() returns).
+}
+
 void HealthMonitor::Investigate(
     std::vector<int> nodes,
     std::function<void(std::vector<MachineReport>)> on_done) {
@@ -76,6 +86,7 @@ void HealthMonitor::QueryMachine(std::shared_ptr<Context> ctx,
         config_.ethernet_latency + config_.query_timeout,
         [this, ctx, idx, node, host] {
             MachineReport report;
+            report.pod = config_.pod_id;
             report.node = node;
             if (host->responsive()) {
                 HandleResponsive(ctx, idx, std::move(report));
@@ -176,8 +187,10 @@ void HealthMonitor::FinishMachine(std::shared_ptr<Context> ctx,
         LOG_INFO("health_monitor")
             << "node " << report.node << " fault: " << ToString(report.fault);
         if (on_machine_failed_) on_machine_failed_(report);
+        // Index-based walk with null skip: a subscriber callback may
+        // add or remove subscribers without invalidating the sweep.
         for (std::size_t i = 0; i < subscribers_.size(); ++i) {
-            subscribers_[i](report);
+            if (subscribers_[i]) subscribers_[i](report);
         }
     }
     ctx->reports[idx] = std::move(report);
@@ -195,13 +208,19 @@ int HealthMonitor::AddFailureSubscriber(
     return static_cast<int>(subscribers_.size()) - 1;
 }
 
+void HealthMonitor::RemoveFailureSubscriber(int id) {
+    if (id < 0 || id >= static_cast<int>(subscribers_.size())) return;
+    // Null the slot (ids are indices) so other subscriptions survive.
+    subscribers_[static_cast<std::size_t>(id)] = nullptr;
+}
+
 void HealthMonitor::AttachTelemetry(TelemetryBus* bus) {
     assert(bus != nullptr);
-    if (telemetry_ != nullptr) {
-        telemetry_->Unsubscribe(telemetry_subscription_);
-    }
     telemetry_ = bus;
-    telemetry_subscription_ = bus->Subscribe(
+    // The scoped handle drops any previous subscription on assignment
+    // and the final one at destruction — a torn-down monitor can never
+    // be invoked through the bus again.
+    telemetry_subscription_ = bus->SubscribeScoped(
         [this](const TelemetryEvent& event) { OnTelemetry(event); });
 }
 

@@ -60,7 +60,8 @@ const char* ToString(FaultType type);
 
 /** One machine's investigation outcome. */
 struct MachineReport {
-    int node = -1;
+    int pod = 0;    ///< Pod the monitor watches (federation attribution).
+    int node = -1;  ///< Pod-local node index.
     FaultType fault = FaultType::kNone;
     bool needed_soft_reboot = false;
     bool needed_hard_reboot = false;
@@ -70,6 +71,8 @@ struct MachineReport {
 class HealthMonitor {
   public:
     struct Config {
+        /** Pod this monitor watches; stamped on every MachineReport. */
+        int pod_id = 0;
         /** One-way Ethernet latency for status queries. */
         Time ethernet_latency = Microseconds(150);
         /** Wait for a status reply before declaring unresponsive. */
@@ -106,6 +109,13 @@ class HealthMonitor {
     HealthMonitor& operator=(const HealthMonitor&) = delete;
 
     /**
+     * Stops the watchdog and drops the telemetry subscription (the
+     * scoped handle): a monitor torn down before its bus — a pod
+     * leaving a federation — leaves no dangling callback behind.
+     */
+    ~HealthMonitor();
+
+    /**
      * Investigate a set of suspect machines; the reports arrive via
      * `on_done` after queries and any needed reboot ladder. Machines
      * with faults are appended to the failed-machine list, and every
@@ -138,9 +148,17 @@ class HealthMonitor {
     /**
      * Register a confirmed-failure subscriber; fires (after the legacy
      * `on_machine_failed` hook) for every faulted MachineReport, from
-     * both automatic and explicit investigations.
+     * both automatic and explicit investigations. The returned id can
+     * be passed to RemoveFailureSubscriber.
      */
     int AddFailureSubscriber(std::function<void(const MachineReport&)> fn);
+
+    /**
+     * Drop a failure subscriber (no-op for unknown ids), so a
+     * subscriber torn down before the monitor — a federated dispatcher
+     * detaching a pod — leaves no dangling callback.
+     */
+    void RemoveFailureSubscriber(int id);
 
     /** Legacy single hook (kept as a shim; drives re-mapping). */
     void set_on_machine_failed(std::function<void(const MachineReport&)> cb) {
@@ -222,7 +240,7 @@ class HealthMonitor {
     bool watchdog_running_ = false;
     std::uint64_t watchdog_epoch_ = 0;  ///< Orphans stale sweep callbacks.
     TelemetryBus* telemetry_ = nullptr;
-    TelemetryBus::SubscriberId telemetry_subscription_ = 0;
+    TelemetrySubscription telemetry_subscription_;
     Counters counters_;
 };
 

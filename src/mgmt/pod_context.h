@@ -1,0 +1,111 @@
+// PodContext: one pod's complete stack as a first-class object.
+//
+// The paper's deployment is 1,632 servers composed of 48-node 6x8-torus
+// pods (§2); everything above the torus — mapping, health, scheduling,
+// the ranking-service pool — is pod-scoped. This class is that scope
+// made explicit: one fabric, its host servers, a Mapping Manager, a
+// Health Monitor, a Failure Injector, a PodScheduler, a TelemetryBus
+// and a ServicePool, all sharing one pod id that is threaded through
+// node ids (the fabric's global node base), telemetry events and
+// machine reports. A federation (service::FederationTestbed) owns 1..N
+// of these on one simulator and fronts them with a
+// service::FederatedDispatcher; the single-pod PodTestbed is now a thin
+// wrapper over a 1-pod federation.
+//
+// The class lives in the mgmt namespace — it is management-plane API,
+// the federation's unit of placement and failure — but compiles into
+// catapult_service: it owns a ServicePool, which sits *above* the
+// management plane in the link graph (service -> mgmt -> fabric), the
+// same reason the TelemetryBus builds *below* it as catapult_telemetry.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "fabric/catapult_fabric.h"
+#include "host/host_server.h"
+#include "mgmt/failure_injector.h"
+#include "mgmt/health_monitor.h"
+#include "mgmt/mapping_manager.h"
+#include "mgmt/pod_scheduler.h"
+#include "mgmt/telemetry_bus.h"
+#include "service/ranking_service.h"
+#include "service/service_pool.h"
+#include "sim/simulator.h"
+
+namespace catapult::mgmt {
+
+class PodContext {
+  public:
+    struct Config {
+        fabric::CatapultFabric::Config fabric;
+        host::HostServer::Config host;
+        /** Per-ring configuration (shared by every ring of the pool). */
+        service::RankingService::Config service;
+        /** Rings the scheduler places onto the pod. */
+        int ring_count = 1;
+        service::DispatchPolicy policy = service::DispatchPolicy::kLeastInFlight;
+        std::uint64_t seed = 0xBED5EEDull;
+        /** Threads per host pre-registered with the slot driver. */
+        int driver_threads = 32;
+        /** Health Monitor tuning (watchdog cadence, query timeout). */
+        HealthMonitor::Config health;
+        /**
+         * Run the closed loop: telemetry bus attached, heartbeat
+         * watchdog started, MachineReports fanned out to the pool and
+         * the Mapping Manager. Off restores the pull-only plane where
+         * Investigate / RecoverRing run only when called.
+         */
+        bool autonomic = true;
+        /**
+         * Pod index within a federation. Unless the fabric config pins
+         * them explicitly, the node base (global ids), fabric name
+         * prefix, telemetry stamp and MachineReport stamp all derive
+         * from it, so a federation's pods are distinguishable at every
+         * layer.
+         */
+        int pod_id = 0;
+    };
+
+    /** Builds the whole pod on `simulator`; does not deploy the pool. */
+    PodContext(sim::Simulator* simulator, Config config);
+
+    PodContext(const PodContext&) = delete;
+    PodContext& operator=(const PodContext&) = delete;
+
+    /** Deploy every ring of the pool (`on_done(true)` when all up). */
+    void Deploy(std::function<void(bool)> on_done);
+
+    int pod_id() const { return config_.pod_id; }
+    const Config& config() const { return config_; }
+
+    sim::Simulator& simulator() { return *simulator_; }
+    fabric::CatapultFabric& fabric() { return *fabric_; }
+    host::HostServer& host(int node) { return *hosts_storage_[
+        static_cast<std::size_t>(node)]; }
+    std::vector<host::HostServer*>& hosts() { return hosts_; }
+    MappingManager& mapping_manager() { return *mapping_manager_; }
+    HealthMonitor& health_monitor() { return *health_monitor_; }
+    FailureInjector& failure_injector() { return *failure_injector_; }
+    PodScheduler& scheduler() { return *scheduler_; }
+    TelemetryBus& telemetry() { return *telemetry_; }
+    service::ServicePool& pool() { return *pool_; }
+
+  private:
+    Config config_;
+    sim::Simulator* simulator_;
+    std::unique_ptr<TelemetryBus> telemetry_;
+    std::unique_ptr<fabric::CatapultFabric> fabric_;
+    std::vector<std::unique_ptr<host::HostServer>> hosts_storage_;
+    std::vector<host::HostServer*> hosts_;
+    std::unique_ptr<MappingManager> mapping_manager_;
+    std::unique_ptr<HealthMonitor> health_monitor_;
+    std::unique_ptr<FailureInjector> failure_injector_;
+    std::unique_ptr<PodScheduler> scheduler_;
+    std::unique_ptr<service::ServicePool> pool_;
+};
+
+}  // namespace catapult::mgmt

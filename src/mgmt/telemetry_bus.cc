@@ -28,14 +28,21 @@ bool IsCriticalTelemetry(TelemetryKind kind) {
     }
 }
 
-TelemetryBus::TelemetryBus(sim::Simulator* simulator)
-    : simulator_(simulator) {
+void TelemetrySubscription::Reset() {
+    if (bus_ != nullptr) bus_->Unsubscribe(id_);
+    bus_ = nullptr;
+    id_ = 0;
+}
+
+TelemetryBus::TelemetryBus(sim::Simulator* simulator, int pod_id)
+    : simulator_(simulator), pod_id_(pod_id) {
     assert(simulator_ != nullptr);
 }
 
 void TelemetryBus::Publish(int node, TelemetryKind kind) {
     ++counters_.published;
     TelemetryEvent event;
+    event.pod = pod_id_;
     event.node = node;
     event.kind = kind;
     event.timestamp = simulator_->Now();

@@ -49,16 +49,65 @@ bool IsCriticalTelemetry(TelemetryKind kind);
 
 /** One fault observation, stamped with simulated time at publish. */
 struct TelemetryEvent {
+    int pod = 0;    ///< Pod the publishing shell belongs to (bus identity).
     int node = -1;  ///< Pod-local node index of the publishing shell.
     TelemetryKind kind = TelemetryKind::kApplicationError;
     Time timestamp = 0;
+};
+
+class TelemetryBus;
+
+/**
+ * RAII subscription handle: unsubscribes from the bus on destruction,
+ * so a torn-down subscriber (a destroyed HealthMonitor, a dispatcher
+ * that dropped a pod) can never be invoked through a dangling
+ * callback. Move-only; release() detaches without unsubscribing.
+ */
+class TelemetrySubscription {
+  public:
+    TelemetrySubscription() = default;
+    TelemetrySubscription(TelemetryBus* bus, int id) : bus_(bus), id_(id) {}
+    ~TelemetrySubscription() { Reset(); }
+
+    TelemetrySubscription(TelemetrySubscription&& other) noexcept
+        : bus_(other.bus_), id_(other.id_) {
+        other.bus_ = nullptr;
+        other.id_ = 0;
+    }
+    TelemetrySubscription& operator=(TelemetrySubscription&& other) noexcept {
+        if (this != &other) {
+            Reset();
+            bus_ = other.bus_;
+            id_ = other.id_;
+            other.bus_ = nullptr;
+            other.id_ = 0;
+        }
+        return *this;
+    }
+
+    TelemetrySubscription(const TelemetrySubscription&) = delete;
+    TelemetrySubscription& operator=(const TelemetrySubscription&) = delete;
+
+    /** Unsubscribe now (idempotent). */
+    void Reset();
+
+    bool active() const { return bus_ != nullptr; }
+
+  private:
+    TelemetryBus* bus_ = nullptr;
+    int id_ = 0;
 };
 
 class TelemetryBus {
   public:
     using SubscriberId = int;
 
-    explicit TelemetryBus(sim::Simulator* simulator);
+    /**
+     * `pod_id` stamps every published event, so federated subscribers
+     * aggregating several pods' buses can attribute faults without a
+     * side table.
+     */
+    explicit TelemetryBus(sim::Simulator* simulator, int pod_id = 0);
 
     TelemetryBus(const TelemetryBus&) = delete;
     TelemetryBus& operator=(const TelemetryBus&) = delete;
@@ -74,6 +123,17 @@ class TelemetryBus {
     /** Subscribe; the returned id can be passed to Unsubscribe. */
     SubscriberId Subscribe(std::function<void(const TelemetryEvent&)> fn);
 
+    /**
+     * Subscribe with an owning handle: the subscription ends when the
+     * handle is destroyed or Reset. Preferred for subscribers whose
+     * lifetime is shorter than the bus (per-pod monitors, federated
+     * dispatchers).
+     */
+    TelemetrySubscription SubscribeScoped(
+        std::function<void(const TelemetryEvent&)> fn) {
+        return TelemetrySubscription(this, Subscribe(std::move(fn)));
+    }
+
     /** Remove a subscriber; no-op for unknown ids. */
     void Unsubscribe(SubscriberId id);
 
@@ -83,6 +143,7 @@ class TelemetryBus {
     };
     const Counters& counters() const { return counters_; }
     int subscriber_count() const;
+    int pod_id() const { return pod_id_; }
 
   private:
     struct Subscriber {
@@ -91,6 +152,7 @@ class TelemetryBus {
     };
 
     sim::Simulator* simulator_;
+    int pod_id_;
     std::vector<Subscriber> subscribers_;
     SubscriberId next_id_ = 1;
     Counters counters_;

@@ -1,0 +1,305 @@
+#include "service/federated_dispatcher.h"
+
+#include <cassert>
+#include <limits>
+#include <memory>
+
+#include "common/log.h"
+
+namespace catapult::service {
+
+const char* ToString(FederationPolicy policy) {
+    switch (policy) {
+      case FederationPolicy::kRoundRobin: return "round_robin";
+      case FederationPolicy::kLeastInFlight: return "least_in_flight";
+      case FederationPolicy::kModelAffinity: return "model_affinity";
+    }
+    return "?";
+}
+
+FederatedDispatcher::FederatedDispatcher(sim::Simulator* simulator,
+                                         Config config)
+    : simulator_(simulator), config_(config) {
+    assert(simulator_ != nullptr);
+    assert(config_.max_retries >= 0);
+}
+
+FederatedDispatcher::~FederatedDispatcher() {
+    for (auto& slot : pods_) {
+        if (slot.health_subscription >= 0) {
+            slot.context->health_monitor().RemoveFailureSubscriber(
+                slot.health_subscription);
+        }
+    }
+}
+
+int FederatedDispatcher::AttachPod(mgmt::PodContext* pod) {
+    assert(pod != nullptr);
+    if (pod_count() >= 64) {
+        // The per-query tried-set is a 64-bit mask; a 65th pod would
+        // alias bit 0 (shift UB). Enforced in release builds too — the
+        // pod is refused, not silently mis-tracked.
+        LOG_ERROR("federation")
+            << "rotation full: 64 pods per dispatcher; pod "
+            << pod->pod_id() << " refused";
+        return -1;
+    }
+    const int index = pod_count();
+    PodSlot slot;
+    slot.context = pod;
+    slot.node_dead.assign(
+        static_cast<std::size_t>(pod->fabric().node_count()), 0);
+    // The health plane is the fast path for whole-pod loss: once every
+    // node of a pod is flagged for manual service the pod can never
+    // return without operator action, so the breaker latches open and
+    // the pod is skipped without probing — no query has to die to
+    // rediscover it. Partial failures stay the pool's business (it
+    // drains only the hit ring) and only feed the stats here.
+    slot.health_subscription = pod->health_monitor().AddFailureSubscriber(
+        [this, index](const mgmt::MachineReport& report) {
+            PodSlot& hit = pods_[static_cast<std::size_t>(index)];
+            ++hit.fault_reports;
+            if (report.fault != mgmt::FaultType::kUnresponsiveFatal) return;
+            // Distinct nodes only: a re-investigation of an
+            // already-fatal node emits a duplicate report, which must
+            // not push a partially-alive pod over the latch threshold.
+            if (report.node < 0 ||
+                report.node >= static_cast<int>(hit.node_dead.size()) ||
+                hit.node_dead[static_cast<std::size_t>(report.node)] != 0) {
+                return;
+            }
+            hit.node_dead[static_cast<std::size_t>(report.node)] = 1;
+            ++hit.dead_nodes;
+            if (hit.dead_nodes >= hit.context->fabric().node_count()) {
+                if (simulator_->Now() >= hit.breaker_open_until) {
+                    ++counters_.breaker_trips;
+                }
+                hit.breaker_open_until = std::numeric_limits<Time>::max();
+                LOG_WARN("federation")
+                    << "pod " << hit.context->pod_id()
+                    << " lost (every node fatal); latched out of rotation";
+            }
+        });
+    pods_.push_back(std::move(slot));
+    return index;
+}
+
+bool FederatedDispatcher::Eligible(const PodSlot& slot) const {
+    if (simulator_->Now() < slot.breaker_open_until) return false;
+    // Probation expired but the breaker has not closed yet: the pod is
+    // half-open and admits exactly one probe query at a time — the
+    // full traffic share returns only once a probe succeeds.
+    if (slot.breaker_open_until != 0 && slot.probe_in_flight) return false;
+    if (config_.max_in_flight_per_pod > 0 &&
+        slot.in_flight >= config_.max_in_flight_per_pod) {
+        return false;
+    }
+    return slot.context->pool().available_rings() > 0;
+}
+
+bool FederatedDispatcher::pod_eligible(int index) const {
+    return Eligible(pods_[static_cast<std::size_t>(index)]);
+}
+
+int FederatedDispatcher::PickPod(std::uint32_t model_id,
+                                 std::uint64_t tried) {
+    const int n = pod_count();
+    if (n == 0) return -1;
+    const auto skipped = [tried](int i) {
+        return (tried >> static_cast<unsigned>(i)) & 1u;
+    };
+
+    if (config_.policy == FederationPolicy::kModelAffinity) {
+        // Home pod by model hash: every query for one model lands on
+        // one pod, so the federation's pods cache disjoint model
+        // working sets and cross-pod reload churn drops. Failover (or
+        // an ineligible home) falls back to least-in-flight below.
+        const int home = static_cast<int>(model_id % static_cast<std::uint32_t>(n));
+        if (!skipped(home) && Eligible(pods_[static_cast<std::size_t>(home)])) {
+            ++counters_.affinity_hits;
+            return home;
+        }
+    }
+
+    if (config_.policy == FederationPolicy::kRoundRobin) {
+        for (int step = 0; step < n; ++step) {
+            const std::size_t at = (rr_cursor_ + static_cast<std::size_t>(step)) %
+                                   static_cast<std::size_t>(n);
+            if (skipped(static_cast<int>(at))) continue;
+            if (Eligible(pods_[at])) {
+                rr_cursor_ = at + 1;
+                return static_cast<int>(at);
+            }
+        }
+        return -1;
+    }
+
+    // Least-in-flight (also the affinity fallback).
+    int best = -1;
+    for (int i = 0; i < n; ++i) {
+        if (skipped(i)) continue;
+        const PodSlot& slot = pods_[static_cast<std::size_t>(i)];
+        if (!Eligible(slot)) continue;
+        if (best < 0 ||
+            slot.in_flight < pods_[static_cast<std::size_t>(best)].in_flight) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+host::SendStatus FederatedDispatcher::Inject(
+    int thread, const rank::CompressedRequest& request,
+    std::function<void(const ScoreResult&)> on_complete) {
+    // Walk distinct picks until one pod accepts. An immediate pod-level
+    // reject (all rings mid-recovery, slot contention on the chosen
+    // host) is not a pod failure — just try the next pod this instant.
+    // The query context (request copy + callback) is only materialized
+    // once a pod is actually eligible, so the admission-cap reject
+    // path — the open-loop hot path under overload — stays
+    // allocation-free.
+    std::shared_ptr<QueryContext> query;
+    std::uint64_t tried = 0;
+    for (int attempts = 0; attempts < pod_count(); ++attempts) {
+        const int pick = PickPod(request.query.model_id, tried);
+        if (pick < 0) break;
+        if (!query) {
+            query = std::make_shared<QueryContext>();
+            query->thread = thread;
+            query->request = request;
+            query->on_complete = std::move(on_complete);
+            query->accepted_at = simulator_->Now();
+            query->retries_left = config_.max_retries;
+        }
+        if (TryInject(pick, query) == host::SendStatus::kOk) {
+            ++counters_.accepted;
+            return host::SendStatus::kOk;
+        }
+        tried |= std::uint64_t{1} << static_cast<unsigned>(pick);
+    }
+    ++counters_.rejected;
+    return host::SendStatus::kTimeout;
+}
+
+host::SendStatus FederatedDispatcher::TryInject(
+    int pod_index, std::shared_ptr<QueryContext> query) {
+    PodSlot& slot = pods_[static_cast<std::size_t>(pod_index)];
+    const Time injected_at = simulator_->Now();
+    // Admission through a half-open breaker is the probe: exactly one
+    // at a time (Eligible gates the rest), and its outcome alone
+    // decides whether the breaker closes or re-opens.
+    const bool is_probe = slot.breaker_open_until != 0 &&
+                          slot.breaker_open_until !=
+                              std::numeric_limits<Time>::max() &&
+                          injected_at >= slot.breaker_open_until;
+    const auto status = slot.context->pool().Inject(
+        query->thread, query->request,
+        [this, pod_index, query, injected_at,
+         is_probe](const ScoreResult& result) {
+            OnPodResult(pod_index, query, injected_at, is_probe, result);
+        });
+    if (status == host::SendStatus::kOk) {
+        ++slot.in_flight;
+        if (is_probe) slot.probe_in_flight = true;
+    }
+    return status;
+}
+
+void FederatedDispatcher::OnPodResult(int pod_index,
+                                      std::shared_ptr<QueryContext> query,
+                                      Time injected_at, bool was_probe,
+                                      const ScoreResult& result) {
+    PodSlot& slot = pods_[static_cast<std::size_t>(pod_index)];
+    --slot.in_flight;
+    if (was_probe) slot.probe_in_flight = false;
+    if (result.ok) {
+        // A success only vouches for the pod's present health when the
+        // query was injected after the breaker last opened; a
+        // straggler accepted before the trip says nothing and must not
+        // cut the probation short.
+        if (slot.breaker_open_until == 0 ||
+            (slot.breaker_open_until != std::numeric_limits<Time>::max() &&
+             injected_at >= slot.breaker_opened_at)) {
+            slot.failure_streak = 0;
+            if (slot.breaker_open_until != std::numeric_limits<Time>::max()) {
+                slot.breaker_open_until = 0;
+            }
+        }
+        Deliver(std::move(query), result);
+        return;
+    }
+    RecordFailure(pod_index);
+    if (query->retries_left <= 0) {
+        Deliver(std::move(query), result);
+        return;
+    }
+    // Zero dropped in-flight retries: the accepted query outlives its
+    // pod. Back off a beat (the failed pod's breaker is counting; the
+    // survivors need no warm-up) and re-inject away from the failure.
+    --query->retries_left;
+    ++counters_.failovers;
+    simulator_->ScheduleAfter(
+        config_.retry_backoff, [this, pod_index, query]() mutable {
+            Failover(std::move(query), pod_index);
+        });
+}
+
+void FederatedDispatcher::Failover(std::shared_ptr<QueryContext> query,
+                                   int failed_pod) {
+    const std::uint64_t failed_bit =
+        failed_pod >= 0 && failed_pod < pod_count()
+            ? std::uint64_t{1} << static_cast<unsigned>(failed_pod)
+            : 0;
+    std::uint64_t tried = failed_bit;
+    for (int attempts = 0; attempts < pod_count(); ++attempts) {
+        int pick = PickPod(query->request.query.model_id, tried);
+        if (pick < 0 && (tried & failed_bit) != 0) {
+            // Nothing else is eligible; the failed pod itself (a ring
+            // may have rejoined) beats losing the query.
+            tried &= ~failed_bit;
+            pick = PickPod(query->request.query.model_id, tried);
+        }
+        if (pick < 0) break;
+        if (TryInject(pick, query) == host::SendStatus::kOk) return;
+        tried |= std::uint64_t{1} << static_cast<unsigned>(pick);
+    }
+    // No pod accepted right now; spend another retry waiting for one
+    // to come back, or give up.
+    if (query->retries_left > 0) {
+        --query->retries_left;
+        simulator_->ScheduleAfter(
+            config_.retry_backoff, [this, failed_pod, query]() mutable {
+                Failover(std::move(query), failed_pod);
+            });
+        return;
+    }
+    ScoreResult result;
+    result.ok = false;
+    Deliver(std::move(query), result);
+}
+
+void FederatedDispatcher::RecordFailure(int pod_index) {
+    PodSlot& slot = pods_[static_cast<std::size_t>(pod_index)];
+    ++slot.failure_streak;
+    if (slot.failure_streak < config_.breaker_threshold) return;
+    if (slot.breaker_open_until == std::numeric_limits<Time>::max()) return;
+    const Time now = simulator_->Now();
+    if (now >= slot.breaker_open_until) ++counters_.breaker_trips;
+    slot.breaker_open_until = now + config_.breaker_probation;
+    slot.breaker_opened_at = now;
+}
+
+void FederatedDispatcher::Deliver(std::shared_ptr<QueryContext> query,
+                                  ScoreResult result) {
+    // User-level latency spans accept to final completion, failover
+    // hops included.
+    result.latency = simulator_->Now() - query->accepted_at;
+    if (result.ok) {
+        ++counters_.completed;
+    } else {
+        ++counters_.lost;
+    }
+    if (query->on_complete) query->on_complete(result);
+}
+
+}  // namespace catapult::service

@@ -1,0 +1,194 @@
+// Federated dispatcher: the cross-pod sharding front end.
+//
+// The paper's bed is 1,632 servers — many 48-node pods — behind one
+// ranking service (§2, §4.2): "the Service Manager ... makes the
+// ranking service available to the rest of the datacenter". At
+// datacenter level that means one query API fronting every pod. This
+// dispatcher is that seam: it owns no hardware, it holds 1..N
+// mgmt::PodContext instances, picks a pod per query with a pod-aware
+// policy (round-robin, least-in-flight, model-affinity), enforces a
+// per-pod admission cap (reject, never queue unboundedly), and
+// subscribes to every pod's health plane.
+//
+// Failure handling composes with the pod-level plane: a draining or
+// recovering ring simply drops out of its own pool's rotation, and the
+// pool-level reject redirects the query here to another pod. A whole
+// lost pod trips a per-pod circuit breaker — consecutive query
+// failures open it, a probation window later one probe query may
+// half-open it — and every accepted query that dies on a failing pod
+// is re-injected onto a surviving pod rather than surfaced as a loss:
+// an accepted query only fails to its caller when every retry is
+// exhausted or no pod survives.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "host/slot_dma_channel.h"
+#include "mgmt/pod_context.h"
+#include "service/ranking_service.h"
+#include "sim/simulator.h"
+
+namespace catapult::service {
+
+/** How the dispatcher shards queries across pods. */
+enum class FederationPolicy {
+    kRoundRobin,     ///< Cycle through eligible pods.
+    kLeastInFlight,  ///< Pod with the fewest dispatcher-accepted queries.
+    kModelAffinity,  ///< model_id hashes to a home pod (disjoint model sets).
+};
+
+const char* ToString(FederationPolicy policy);
+
+class FederatedDispatcher {
+  public:
+    struct Config {
+        FederationPolicy policy = FederationPolicy::kLeastInFlight;
+        /**
+         * Admission cap: dispatcher-accepted queries in flight per pod;
+         * 0 = unbounded. When every eligible pod is at its cap the
+         * query is rejected (open-loop admission control — callers see
+         * the reject immediately instead of queueing unboundedly).
+         */
+        int max_in_flight_per_pod = 0;
+        /**
+         * Cross-pod failover budget for one accepted query: how many
+         * times a query whose pod failed it (timeout, drained rings)
+         * is re-injected onto another pod before the caller sees the
+         * failure.
+         */
+        int max_retries = 3;
+        /** Back-off before a failed query re-injects elsewhere. */
+        Time retry_backoff = Microseconds(50);
+        /** Consecutive failures before a pod's breaker opens. */
+        int breaker_threshold = 6;
+        /** How long an open breaker holds the pod out of rotation. */
+        Time breaker_probation = Milliseconds(20);
+    };
+
+    FederatedDispatcher(sim::Simulator* simulator, Config config);
+
+    FederatedDispatcher(const FederatedDispatcher&) = delete;
+    FederatedDispatcher& operator=(const FederatedDispatcher&) = delete;
+
+    /** Detaches every health-plane subscription. */
+    ~FederatedDispatcher();
+
+    /**
+     * Front `pod`: it joins the dispatch rotation and its health plane
+     * (confirmed MachineReports) feeds the per-pod failure stats. The
+     * pod must outlive this dispatcher. Returns the pod's index in the
+     * rotation, or -1 when the rotation is full (64 pods — the
+     * per-query tried-set is a 64-bit mask).
+     */
+    int AttachPod(mgmt::PodContext* pod);
+
+    /**
+     * Inject one query through the federation. kOk means accepted:
+     * `on_complete` will eventually fire, and a failure on the chosen
+     * pod transparently retries on surviving pods first (the reported
+     * latency spans accept to final completion, retries included).
+     * Non-kOk means rejected up front: every eligible pod refused the
+     * query (admission caps, no ring in rotation anywhere).
+     */
+    host::SendStatus Inject(int thread, const rank::CompressedRequest& request,
+                            std::function<void(const ScoreResult&)> on_complete);
+
+    int pod_count() const { return static_cast<int>(pods_.size()); }
+    mgmt::PodContext& pod(int index) {
+        return *pods_[static_cast<std::size_t>(index)].context;
+    }
+
+    /** Dispatcher-accepted queries currently in flight on `index`. */
+    int pod_in_flight(int index) const {
+        return pods_[static_cast<std::size_t>(index)].in_flight;
+    }
+    /** True when `index` would be considered for the next query. */
+    bool pod_eligible(int index) const;
+    /** Confirmed health-plane fault reports attributed to `index`. */
+    std::uint64_t pod_fault_reports(int index) const {
+        return pods_[static_cast<std::size_t>(index)].fault_reports;
+    }
+    /** Nodes of `index` flagged for manual service (fatal faults). */
+    int pod_dead_nodes(int index) const {
+        return pods_[static_cast<std::size_t>(index)].dead_nodes;
+    }
+
+    FederationPolicy policy() const { return config_.policy; }
+
+    struct Counters {
+        /** Queries accepted (kOk returned). */
+        std::uint64_t accepted = 0;
+        /** Queries rejected up front (caps / no eligible pod). */
+        std::uint64_t rejected = 0;
+        /** Completions delivered with ok=true. */
+        std::uint64_t completed = 0;
+        /** Completions delivered with ok=false (every retry exhausted). */
+        std::uint64_t lost = 0;
+        /** Re-injections of accepted queries onto another pod. */
+        std::uint64_t failovers = 0;
+        /** Pod picks that honored a model-affinity preference. */
+        std::uint64_t affinity_hits = 0;
+        /** Breaker state transitions closed -> open. */
+        std::uint64_t breaker_trips = 0;
+    };
+    const Counters& counters() const { return counters_; }
+
+  private:
+    struct PodSlot {
+        mgmt::PodContext* context = nullptr;
+        int in_flight = 0;
+        /** Consecutive dispatcher-observed failures (breaker input). */
+        int failure_streak = 0;
+        /** Breaker open until this instant (0 = closed). */
+        Time breaker_open_until = 0;
+        /** When the breaker last opened; successes of queries injected
+         *  before this instant are stragglers and must not close it. */
+        Time breaker_opened_at = 0;
+        /** A half-open probe query is outstanding (one at a time). */
+        bool probe_in_flight = false;
+        int health_subscription = -1;
+        std::uint64_t fault_reports = 0;
+        /** Distinct nodes flagged fatal (duplicate reports ignored). */
+        std::vector<char> node_dead;
+        int dead_nodes = 0;
+    };
+
+    /** One accepted query's life across retries. */
+    struct QueryContext {
+        int thread = 0;
+        rank::CompressedRequest request;
+        std::function<void(const ScoreResult&)> on_complete;
+        Time accepted_at = 0;
+        int retries_left = 0;
+    };
+
+    /**
+     * Policy pick among eligible pods, skipping indices whose bit is
+     * set in `tried` (pods are capped at 64 per dispatcher so the
+     * per-query tried-set stays an allocation-free bitmask). Returns
+     * -1 when nothing fits.
+     */
+    int PickPod(std::uint32_t model_id, std::uint64_t tried);
+    bool Eligible(const PodSlot& slot) const;
+    host::SendStatus TryInject(int pod_index,
+                               std::shared_ptr<QueryContext> query);
+    void OnPodResult(int pod_index, std::shared_ptr<QueryContext> query,
+                     Time injected_at, bool was_probe,
+                     const ScoreResult& result);
+    void Failover(std::shared_ptr<QueryContext> query, int failed_pod);
+    void RecordFailure(int pod_index);
+    void Deliver(std::shared_ptr<QueryContext> query, ScoreResult result);
+
+    sim::Simulator* simulator_;
+    Config config_;
+    std::vector<PodSlot> pods_;
+    std::size_t rr_cursor_ = 0;
+    Counters counters_;
+};
+
+}  // namespace catapult::service

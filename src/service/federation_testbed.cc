@@ -1,0 +1,48 @@
+#include "service/federation_testbed.h"
+
+#include <cassert>
+#include <string>
+
+namespace catapult::service {
+
+FederationTestbed::FederationTestbed(Config config)
+    : config_(std::move(config)) {
+    assert(config_.pod_count >= 1);
+    dispatcher_ = std::make_unique<FederatedDispatcher>(&simulator_,
+                                                        config_.dispatcher);
+    for (int k = 0; k < config_.pod_count; ++k) {
+        mgmt::PodContext::Config pod_config = config_.pod;
+        pod_config.pod_id = k;
+        if (k > 0) {
+            // De-correlate the pods' fabrics and injectors while pod 0
+            // keeps the template seed (single-pod reproducibility).
+            pod_config.seed =
+                config_.pod.seed + 0x9E3779B97F4A7C15ull *
+                                       static_cast<std::uint64_t>(k);
+        }
+        if (config_.pod_count > 1) {
+            pod_config.service.service_name += "/pod" + std::to_string(k);
+        }
+        pods_.push_back(
+            std::make_unique<mgmt::PodContext>(&simulator_,
+                                               std::move(pod_config)));
+        dispatcher_->AttachPod(pods_.back().get());
+    }
+}
+
+bool FederationTestbed::DeployAndSettle() {
+    // Pods deploy concurrently: each owns its Mapping Manager, so only
+    // rings within one pod serialize.
+    int pending = pod_count();
+    bool all_ok = true;
+    for (auto& pod : pods_) {
+        pod->Deploy([&](bool ok) {
+            all_ok = all_ok && ok;
+            --pending;
+        });
+    }
+    simulator_.Run();
+    return all_ok && pending == 0;
+}
+
+}  // namespace catapult::service

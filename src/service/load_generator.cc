@@ -7,6 +7,93 @@
 
 namespace catapult::service {
 
+namespace {
+
+/** Shared knobs of the pool- and federation-level closed loops. */
+struct ClosedLoopParams {
+    int concurrency;
+    int driver_threads;
+    int documents;
+    Time retry_delay;
+    int max_retries;
+    bool single_model;
+    const char* client_label;
+};
+
+/**
+ * The closed-loop client state machine, shared by
+ * PoolClosedLoopInjector and FederatedClosedLoopInjector so the
+ * stagger/send/retry/give-up bookkeeping exists exactly once:
+ * `concurrency` clients each keep one document outstanding against
+ * `inject(thread, request, on_complete) -> SendStatus`, with a bounded
+ * retry budget when the target rejects outright. Everything resolves
+ * inside simulator->Run(), so the state lives on this stack frame.
+ */
+template <typename InjectFn>
+LoadResult RunClosedLoop(sim::Simulator* simulator,
+                         rank::DocumentGenerator& generator,
+                         const ClosedLoopParams& params, InjectFn inject) {
+    LoadResult result;
+    const Time started = simulator->Now();
+    Time last_completion = started;
+    int sent = 0;
+    // Stagger client starts: two clients sharing a thread id (modulo
+    // driver_threads) that inject on the same host inside one
+    // injection-overhead window would both pass the slot-busy check
+    // before either slot fills, and the loser surfaces as a spurious
+    // timeout. A >overhead skew between same-thread clients avoids the
+    // herd; steady-state re-injections are naturally de-phased.
+    const int clients = std::min(params.concurrency, params.documents);
+    std::vector<int> retries_left(static_cast<std::size_t>(clients),
+                                  params.max_retries);
+    std::function<void(int)> send_next = [&](int client) {
+        if (sent >= params.documents) return;
+        rank::CompressedRequest request = generator.Next();
+        if (params.single_model) request.query.model_id = 0;
+        ++sent;
+        const auto status = inject(
+            client % params.driver_threads, request,
+            [&, client](const ScoreResult& completion) {
+                if (completion.ok) {
+                    ++result.completed;
+                    result.latency_us.Add(ToMicroseconds(completion.latency));
+                } else {
+                    ++result.timeouts;
+                }
+                last_completion = simulator->Now();
+                send_next(client);
+            });
+        if (status != host::SendStatus::kOk) {
+            // Rejected outright (every target drained mid-recovery, or
+            // slot contention): keep the client alive and retry
+            // shortly, up to its budget — so a target that never
+            // recovers cannot hang Run().
+            --sent;
+            if (--retries_left[static_cast<std::size_t>(client)] < 0) {
+                ++result.timeouts;
+                LOG_WARN("loadgen")
+                    << params.client_label << " " << client
+                    << " gave up after " << params.max_retries
+                    << " rejected sends";
+                return;
+            }
+            simulator->ScheduleAfter(params.retry_delay,
+                                     [&, client] { send_next(client); });
+            return;
+        }
+        retries_left[static_cast<std::size_t>(client)] = params.max_retries;
+    };
+    for (int client = 0; client < clients; ++client) {
+        simulator->ScheduleAfter(Microseconds(client),
+                                 [&, client] { send_next(client); });
+    }
+    simulator->Run();
+    result.elapsed = last_completion - started;
+    return result;
+}
+
+}  // namespace
+
 ClosedLoopInjector::ClosedLoopInjector(RankingService* service, Config config)
     : service_(service),
       config_(std::move(config)),
@@ -68,62 +155,89 @@ PoolClosedLoopInjector::PoolClosedLoopInjector(ServicePool* pool,
 }
 
 LoadResult PoolClosedLoopInjector::Run() {
+    const ClosedLoopParams params{config_.concurrency, config_.driver_threads,
+                                  config_.documents, config_.retry_delay,
+                                  config_.max_retries, config_.single_model,
+                                  "pool client"};
+    return RunClosedLoop(
+        pool_->simulator(), generator_, params,
+        [this](int thread, const rank::CompressedRequest& request,
+               std::function<void(const ScoreResult&)> on_complete) {
+            return pool_->Inject(thread, request, std::move(on_complete));
+        });
+}
+
+FederatedClosedLoopInjector::FederatedClosedLoopInjector(
+    FederatedDispatcher* dispatcher, sim::Simulator* simulator, Config config)
+    : dispatcher_(dispatcher),
+      simulator_(simulator),
+      config_(std::move(config)),
+      generator_(config_.corpus_seed, config_.corpus) {
+    assert(dispatcher_ != nullptr && simulator_ != nullptr);
+}
+
+LoadResult FederatedClosedLoopInjector::Run() {
+    const ClosedLoopParams params{config_.concurrency, config_.driver_threads,
+                                  config_.documents, config_.retry_delay,
+                                  config_.max_retries, config_.single_model,
+                                  "federated client"};
+    return RunClosedLoop(
+        simulator_, generator_, params,
+        [this](int thread, const rank::CompressedRequest& request,
+               std::function<void(const ScoreResult&)> on_complete) {
+            return dispatcher_->Inject(thread, request,
+                                       std::move(on_complete));
+        });
+}
+
+FederatedOpenLoopInjector::FederatedOpenLoopInjector(
+    FederatedDispatcher* dispatcher, sim::Simulator* simulator, Rng rng,
+    Config config)
+    : dispatcher_(dispatcher),
+      simulator_(simulator),
+      rng_(rng),
+      config_(std::move(config)),
+      generator_(config_.corpus_seed, config_.corpus) {
+    assert(dispatcher_ != nullptr && simulator_ != nullptr);
+}
+
+LoadResult FederatedOpenLoopInjector::Run() {
     result_ = LoadResult{};
-    sent_ = 0;
-    started_ = pool_->simulator()->Now();
-    last_completion_ = started_;
-    // Stagger client starts: two clients sharing a thread id (modulo
-    // driver_threads) that inject on the same host inside one
-    // injection-overhead window would both pass the slot-busy check
-    // before either slot fills, and the loser surfaces as a spurious
-    // timeout. A >overhead skew between same-thread clients avoids the
-    // herd; steady-state re-injections are naturally de-phased.
-    const int clients = std::min(config_.concurrency, config_.documents);
-    retries_left_.assign(static_cast<std::size_t>(clients),
-                         config_.max_retries);
-    for (int client = 0; client < clients; ++client) {
-        pool_->simulator()->ScheduleAfter(
-            Microseconds(client), [this, client] { SendNext(client); });
-    }
-    pool_->simulator()->Run();
-    result_.elapsed = last_completion_ - started_;
+    arrival_seq_ = 0;
+    deadline_ = simulator_->Now() + config_.duration;
+    ScheduleArrival();
+    simulator_->Run();
+    result_.elapsed = config_.duration;
     return result_;
 }
 
-void PoolClosedLoopInjector::SendNext(int client) {
-    if (sent_ >= config_.documents) return;
-    rank::CompressedRequest request = generator_.Next();
-    if (config_.single_model) request.query.model_id = 0;
-    ++sent_;
-    const auto status = pool_->Inject(
-        client % config_.driver_threads, request,
-        [this, client](const ScoreResult& result) {
-            if (result.ok) {
-                ++result_.completed;
-                result_.latency_us.Add(ToMicroseconds(result.latency));
-            } else {
-                ++result_.timeouts;
-            }
-            last_completion_ = pool_->simulator()->Now();
-            SendNext(client);
-        });
-    if (status != host::SendStatus::kOk) {
-        // Every ring drained (mid-recovery) or the slot was busy: keep
-        // the client alive and try again shortly — up to the retry
-        // budget, so a pool that never recovers cannot hang Run().
-        --sent_;
-        if (--retries_left_[static_cast<std::size_t>(client)] < 0) {
-            ++result_.timeouts;
-            LOG_WARN("loadgen") << "pool client " << client
-                                << " gave up after " << config_.max_retries
-                                << " rejected sends";
-            return;
+void FederatedOpenLoopInjector::ScheduleArrival() {
+    if (config_.rate_qps <= 0.0) return;
+    const double gap_s = config_.poisson
+                             ? rng_.Exponential(1.0 / config_.rate_qps)
+                             : 1.0 / config_.rate_qps;
+    const Time at = simulator_->Now() + static_cast<Time>(gap_s * 1e12);
+    if (at >= deadline_) return;  // injection window closed
+    simulator_->ScheduleAt(at, [this] {
+        rank::CompressedRequest request = generator_.Next();
+        if (config_.single_model) request.query.model_id = 0;
+        const int thread = arrival_seq_++ % config_.driver_threads;
+        const auto status = dispatcher_->Inject(
+            thread, request, [this](const ScoreResult& result) {
+                if (result.ok) {
+                    ++result_.completed;
+                    result_.latency_us.Add(ToMicroseconds(result.latency));
+                } else {
+                    ++result_.timeouts;
+                }
+            });
+        if (status != host::SendStatus::kOk) {
+            // Open loop: an arrival the admission control refuses is
+            // answered now and dropped, never queued client-side.
+            ++result_.rejected;
         }
-        pool_->simulator()->ScheduleAfter(config_.retry_delay,
-                                          [this, client] { SendNext(client); });
-        return;
-    }
-    retries_left_[static_cast<std::size_t>(client)] = config_.max_retries;
+        ScheduleArrival();
+    });
 }
 
 OpenLoopInjector::OpenLoopInjector(RankingService* service, Rng rng,

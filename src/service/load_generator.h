@@ -20,6 +20,7 @@
 #include "rank/document.h"
 #include "rank/document_generator.h"
 #include "rank/software_ranker.h"
+#include "service/federated_dispatcher.h"
 #include "service/ranking_service.h"
 #include "service/service_pool.h"
 #include "sim/simulator.h"
@@ -31,6 +32,8 @@ struct LoadResult {
     SampleStat latency_us;
     std::uint64_t completed = 0;
     std::uint64_t timeouts = 0;
+    /** Arrivals refused up front (admission control; open loop only). */
+    std::uint64_t rejected = 0;
     Time elapsed = 0;
 
     double ThroughputPerSecond() const {
@@ -111,16 +114,91 @@ class PoolClosedLoopInjector {
     LoadResult Run();
 
   private:
-    void SendNext(int client);
-
     ServicePool* pool_;
     Config config_;
     rank::DocumentGenerator generator_;
+};
+
+/**
+ * Federation-level closed loop: `concurrency` logical clients, each
+ * keeping one query outstanding against the FederatedDispatcher, which
+ * shards every send across its pods by policy. The same offered load
+ * measures 1-pod vs N-pod capacity (bench_federation).
+ */
+class FederatedClosedLoopInjector {
+  public:
+    struct Config {
+        /** Outstanding queries across the whole federation. */
+        int concurrency = 32;
+        /** Driver threads registered per host; clients map modulo. */
+        int driver_threads = 32;
+        /** Total queries to complete. */
+        int documents = 2'000;
+        std::uint64_t corpus_seed = 42;
+        rank::DocumentGenerator::Config corpus;
+        /** Force every query to one model (no reload churn). */
+        bool single_model = true;
+        /** Retry delay when the federation rejects outright. */
+        Time retry_delay = Microseconds(100);
+        /** Consecutive rejections a client tolerates before giving up. */
+        int max_retries = 1'000;
+    };
+
+    FederatedClosedLoopInjector(FederatedDispatcher* dispatcher,
+                                sim::Simulator* simulator, Config config);
+
+    /** Run to completion; returns the measurements. */
+    LoadResult Run();
+
+  private:
+    FederatedDispatcher* dispatcher_;
+    sim::Simulator* simulator_;
+    Config config_;
+    rank::DocumentGenerator generator_;
+};
+
+/**
+ * Federation-level open loop: a fixed arrival rate against the
+ * FederatedDispatcher — arrivals are independent of completions, the
+ * production traffic shape. There is no client-side queue or retry:
+ * the dispatcher's per-pod admission cap answers every arrival
+ * immediately, and a refused arrival is *rejected*, not parked — the
+ * first step of the admission-control story (bounded queues, fast
+ * feedback to the traffic source) rather than unbounded host-side
+ * buffering.
+ */
+class FederatedOpenLoopInjector {
+  public:
+    struct Config {
+        /** Mean arrivals per second across the whole federation. */
+        double rate_qps = 20'000.0;
+        Time duration = Milliseconds(100);
+        /** Exponential interarrivals (Poisson) or a fixed beat. */
+        bool poisson = true;
+        /** Driver threads registered per host; arrivals rotate over them. */
+        int driver_threads = 32;
+        std::uint64_t corpus_seed = 42;
+        rank::DocumentGenerator::Config corpus;
+        bool single_model = true;
+    };
+
+    FederatedOpenLoopInjector(FederatedDispatcher* dispatcher,
+                              sim::Simulator* simulator, Rng rng,
+                              Config config);
+
+    LoadResult Run();
+
+  private:
+    void ScheduleArrival();
+
+    FederatedDispatcher* dispatcher_;
+    sim::Simulator* simulator_;
+    Rng rng_;
+    Config config_;
+    rank::DocumentGenerator generator_;
     LoadResult result_;
-    std::vector<int> retries_left_;
-    int sent_ = 0;
-    Time started_ = 0;
-    Time last_completion_ = 0;
+    int arrival_seq_ = 0;
+    Time deadline_ = 0;
 };
 
 /**

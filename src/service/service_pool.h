@@ -147,6 +147,8 @@ class ServicePool {
     }
 
     int ring_count() const { return static_cast<int>(rings_.size()); }
+    /** Rings currently in dispatch rotation (not drained/recovering). */
+    int available_rings() const { return ring_count() - DrainedRings(); }
     RankingService& ring(int ring_id) {
         return *rings_[static_cast<std::size_t>(ring_id)].service;
     }

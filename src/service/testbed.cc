@@ -2,73 +2,18 @@
 
 namespace catapult::service {
 
-PodTestbed::PodTestbed(Config config) : config_(std::move(config)) {
-    Rng rng(config_.seed);
-    telemetry_ = std::make_unique<mgmt::TelemetryBus>(&simulator_);
-    fabric_ = std::make_unique<fabric::CatapultFabric>(&simulator_, rng.Fork(),
-                                                       config_.fabric);
-    for (int i = 0; i < fabric_->node_count(); ++i) {
-        hosts_storage_.push_back(std::make_unique<host::HostServer>(
-            &simulator_, "srv" + std::to_string(i), &fabric_->shell(i),
-            config_.host));
-        hosts_.push_back(hosts_storage_.back().get());
-        hosts_storage_.back()->driver().AssignThreads(config_.driver_threads);
-    }
-    mapping_manager_ = std::make_unique<mgmt::MappingManager>(
-        &simulator_, fabric_.get(), hosts_);
-    health_monitor_ = std::make_unique<mgmt::HealthMonitor>(
-        &simulator_, fabric_.get(), hosts_, config_.health);
-    failure_injector_ = std::make_unique<mgmt::FailureInjector>(
-        &simulator_, fabric_.get(), hosts_, rng.Fork());
-    scheduler_ = std::make_unique<mgmt::PodScheduler>(fabric_->topology());
-    ServicePool::Config pool_config;
-    pool_config.ring_count = config_.ring_count;
-    pool_config.policy = config_.policy;
-    pool_config.ring = config_.service;
-    pool_ = std::make_unique<ServicePool>(&simulator_, fabric_.get(), hosts_,
-                                          mapping_manager_.get(),
-                                          scheduler_.get(),
-                                          std::move(pool_config));
+namespace {
 
-    if (!config_.autonomic) return;
-    // The autonomic loop (§3.3, §3.5): components publish faults, the
-    // watchdog turns missed heartbeats and event bursts into
-    // investigations, and confirmed reports heal the pod — the pool
-    // recovers rings whose active stages are hit; anything else with a
-    // mapped role (idle spares, stranded reboots) is reconfigured in
-    // place by the Mapping Manager.
-    fabric_->AttachTelemetry(telemetry_.get());
-    health_monitor_->AttachTelemetry(telemetry_.get());
-    health_monitor_->AddFailureSubscriber(
-        [this](const mgmt::MachineReport& report) {
-            if (pool_->HandleMachineReport(report)) return;
-            switch (report.fault) {
-              case mgmt::FaultType::kUnresponsiveRecovered:
-              case mgmt::FaultType::kStrandedRxHalt:
-              case mgmt::FaultType::kApplicationError:
-                // In-place reconfiguration clears corrupted role state
-                // and re-releases RX Halt (§3.5) — only for nodes that
-                // actually hold a mapped role; an idle node has no
-                // application image to restore.
-                if (!mapping_manager_->RoleAtNode(report.node).empty()) {
-                    mapping_manager_->ReconfigureInPlace(report.node,
-                                                         [](bool) {});
-                }
-                break;
-              default:
-                // Fatal (manual service), cable-class and thermal
-                // faults are not fixable by reconfiguration.
-                break;
-            }
-        });
-    health_monitor_->StartWatchdog();
+FederationTestbed::Config SinglePod(mgmt::PodContext::Config pod) {
+    FederationTestbed::Config config;
+    config.pod_count = 1;
+    config.pod = std::move(pod);
+    return config;
 }
 
-bool PodTestbed::DeployAndSettle() {
-    bool deployed = false;
-    pool_->Deploy([&](bool ok) { deployed = ok; });
-    simulator_.Run();
-    return deployed;
-}
+}  // namespace
+
+PodTestbed::PodTestbed(Config config)
+    : federation_(SinglePod(std::move(config))) {}
 
 }  // namespace catapult::service

@@ -1,93 +1,54 @@
-// One-stop testbed: a pod fabric, host servers, management services and
-// a deployed ranking-service pool. Used by integration tests, examples
-// and every bench harness.
+// One-stop single-pod testbed: kept as the entry point for every
+// integration test, example and bench harness that predates the
+// federation.
 //
-// Rings are no longer hardwired to torus rows here: the testbed owns a
-// mgmt::PodScheduler and deploys `ring_count` rings (1..6 on a default
-// pod) through it as a service::ServicePool. `service()` keeps the
-// old single-ring surface alive as ring 0 of the pool.
-//
-// The autonomic health plane is wired by default: every shell/FPGA
-// publishes fault events onto a mgmt::TelemetryBus, the Health
-// Monitor's heartbeat watchdog runs from construction, and confirmed
-// MachineReports fan out to the ServicePool (automatic ring recovery)
-// with an in-place re-mapping fallback for nodes the pool does not own
-// — no explicit Investigate / RecoverRing calls needed.
+// Since the federated control plane landed, the per-pod stack (fabric,
+// hosts, management services, service pool, autonomic wiring) lives in
+// mgmt::PodContext and the multi-pod front end in FederationTestbed;
+// PodTestbed is now a thin wrapper over a 1-pod federation. Its Config
+// *is* the PodContext config and every accessor forwards to pod 0, so
+// the whole pre-federation surface — `service()` as ring 0 of the
+// pool, the health plane wired by default, `autonomic=false` opting
+// out — behaves exactly as before.
 
 #pragma once
 
-#include <memory>
-#include <vector>
-
-#include "common/rng.h"
-#include "fabric/catapult_fabric.h"
-#include "host/host_server.h"
-#include "mgmt/failure_injector.h"
-#include "mgmt/health_monitor.h"
-#include "mgmt/mapping_manager.h"
-#include "mgmt/pod_scheduler.h"
-#include "mgmt/telemetry_bus.h"
-#include "service/ranking_service.h"
-#include "service/service_pool.h"
-#include "sim/simulator.h"
+#include "mgmt/pod_context.h"
+#include "service/federation_testbed.h"
 
 namespace catapult::service {
 
 class PodTestbed {
   public:
-    struct Config {
-        fabric::CatapultFabric::Config fabric;
-        host::HostServer::Config host;
-        /** Per-ring configuration (shared by every ring of the pool). */
-        RankingService::Config service;
-        /** Rings the scheduler places onto the pod. */
-        int ring_count = 1;
-        DispatchPolicy policy = DispatchPolicy::kLeastInFlight;
-        std::uint64_t seed = 0xBED5EEDull;
-        /** Threads per host pre-registered with the slot driver. */
-        int driver_threads = 32;
-        /** Health Monitor tuning (watchdog cadence, query timeout). */
-        mgmt::HealthMonitor::Config health;
-        /**
-         * Run the closed loop: telemetry bus attached, heartbeat
-         * watchdog started, MachineReports fanned out to the pool and
-         * the Mapping Manager. Off restores the pull-only plane where
-         * Investigate / RecoverRing run only when called.
-         */
-        bool autonomic = true;
-    };
+    using Config = mgmt::PodContext::Config;
 
     explicit PodTestbed(Config config);
     PodTestbed() : PodTestbed(Config()) {}
 
     /** Deploy every ring and run until configuration settles. */
-    bool DeployAndSettle();
+    bool DeployAndSettle() { return federation_.DeployAndSettle(); }
 
-    sim::Simulator& simulator() { return simulator_; }
-    fabric::CatapultFabric& fabric() { return *fabric_; }
-    host::HostServer& host(int node) { return *hosts_storage_[node]; }
-    std::vector<host::HostServer*>& hosts() { return hosts_; }
-    mgmt::MappingManager& mapping_manager() { return *mapping_manager_; }
-    mgmt::HealthMonitor& health_monitor() { return *health_monitor_; }
-    mgmt::FailureInjector& failure_injector() { return *failure_injector_; }
-    mgmt::PodScheduler& scheduler() { return *scheduler_; }
-    mgmt::TelemetryBus& telemetry() { return *telemetry_; }
-    ServicePool& pool() { return *pool_; }
+    sim::Simulator& simulator() { return federation_.simulator(); }
+    fabric::CatapultFabric& fabric() { return pod().fabric(); }
+    host::HostServer& host(int node) { return pod().host(node); }
+    std::vector<host::HostServer*>& hosts() { return pod().hosts(); }
+    mgmt::MappingManager& mapping_manager() { return pod().mapping_manager(); }
+    mgmt::HealthMonitor& health_monitor() { return pod().health_monitor(); }
+    mgmt::FailureInjector& failure_injector() {
+        return pod().failure_injector();
+    }
+    mgmt::PodScheduler& scheduler() { return pod().scheduler(); }
+    mgmt::TelemetryBus& telemetry() { return pod().telemetry(); }
+    ServicePool& pool() { return pod().pool(); }
     /** Ring 0 of the pool: the legacy single-ring surface. */
-    RankingService& service() { return pool_->ring(0); }
+    RankingService& service() { return pool().ring(0); }
+
+    /** The wrapped 1-pod federation (pod id 0). */
+    FederationTestbed& federation() { return federation_; }
+    mgmt::PodContext& pod() { return federation_.pod(0); }
 
   private:
-    Config config_;
-    sim::Simulator simulator_;
-    std::unique_ptr<mgmt::TelemetryBus> telemetry_;
-    std::unique_ptr<fabric::CatapultFabric> fabric_;
-    std::vector<std::unique_ptr<host::HostServer>> hosts_storage_;
-    std::vector<host::HostServer*> hosts_;
-    std::unique_ptr<mgmt::MappingManager> mapping_manager_;
-    std::unique_ptr<mgmt::HealthMonitor> health_monitor_;
-    std::unique_ptr<mgmt::FailureInjector> failure_injector_;
-    std::unique_ptr<mgmt::PodScheduler> scheduler_;
-    std::unique_ptr<ServicePool> pool_;
+    FederationTestbed federation_;
 };
 
 }  // namespace catapult::service

@@ -182,6 +182,11 @@ void Shell::ReleaseRxHalt() {
     for (auto& link : links_) link->SetRxHalt(false);
 }
 
+void Shell::EngageRxHalt() {
+    rx_halted_ = true;
+    for (auto& link : links_) link->SetRxHalt(true);
+}
+
 void Shell::SetNeighborId(Port port, NodeId id) {
     neighbor_ids_[LinkIndex(port)] = id;
 }

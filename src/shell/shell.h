@@ -131,6 +131,13 @@ class Shell {
     /** Mapping Manager releases RX Halt once the pipeline is configured. */
     void ReleaseRxHalt();
 
+    /**
+     * Re-engage RX Halt immediately (power-domain loss, §3.4 state
+     * after an unnoticed reboot): arriving link traffic is discarded
+     * until a Mapping Manager releases the halt again.
+     */
+    void EngageRxHalt();
+
     /** True while inbound link traffic is being discarded. */
     bool rx_halted() const { return rx_halted_; }
 

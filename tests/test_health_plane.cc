@@ -45,6 +45,62 @@ TEST(TelemetryBus, PublishDeliversToSubscribersWithTimestamp) {
     EXPECT_EQ(bus.counters().delivered, 3u);
 }
 
+TEST(TelemetryBus, ScopedSubscriptionUnsubscribesOnDestruction) {
+    sim::Simulator sim;
+    mgmt::TelemetryBus bus(&sim);
+    int seen = 0;
+    {
+        auto subscription = bus.SubscribeScoped(
+            [&](const mgmt::TelemetryEvent&) { ++seen; });
+        EXPECT_TRUE(subscription.active());
+        EXPECT_EQ(bus.subscriber_count(), 1);
+        bus.Publish(0, mgmt::TelemetryKind::kDmaStall);
+        EXPECT_EQ(seen, 1);
+        // Moving the handle keeps the one subscription alive.
+        mgmt::TelemetrySubscription moved = std::move(subscription);
+        EXPECT_TRUE(moved.active());
+        EXPECT_FALSE(subscription.active());
+        bus.Publish(0, mgmt::TelemetryKind::kDmaStall);
+        EXPECT_EQ(seen, 2);
+    }
+    // Handle destroyed: the callback (whose captures may be dead) can
+    // never be invoked again.
+    EXPECT_EQ(bus.subscriber_count(), 0);
+    bus.Publish(0, mgmt::TelemetryKind::kDmaStall);
+    EXPECT_EQ(seen, 2);
+}
+
+TEST(TelemetryBus, DestroyedHealthMonitorIsNeverInvoked) {
+    // Regression: tearing a monitor down while its bus lives (a pod
+    // leaving a federation) must drop the subscription; publishing a
+    // critical event afterwards would otherwise call into freed memory
+    // (ASan job covers the dangling-callback half).
+    PodTestbed bed;  // default pod: fabric + bus, health plane wired
+    ASSERT_TRUE(bed.DeployAndSettle());
+    mgmt::TelemetryBus bus(&bed.simulator());
+    {
+        mgmt::HealthMonitor monitor(&bed.simulator(), &bed.fabric(),
+                                    bed.hosts());
+        monitor.AttachTelemetry(&bus);
+        EXPECT_EQ(bus.subscriber_count(), 1);
+    }
+    EXPECT_EQ(bus.subscriber_count(), 0);
+    bus.Publish(5, mgmt::TelemetryKind::kTemperatureShutdown);
+    EXPECT_EQ(bus.counters().delivered, 0u);
+}
+
+TEST(TelemetryBus, EventsCarryThePublishingPodsId) {
+    sim::Simulator sim;
+    mgmt::TelemetryBus bus(&sim, /*pod_id=*/3);
+    mgmt::TelemetryEvent seen;
+    auto subscription = bus.SubscribeScoped(
+        [&](const mgmt::TelemetryEvent& event) { seen = event; });
+    bus.Publish(9, mgmt::TelemetryKind::kLinkDown);
+    EXPECT_EQ(seen.pod, 3);
+    EXPECT_EQ(seen.node, 9);
+    EXPECT_EQ(bus.pod_id(), 3);
+}
+
 TEST(TelemetryBus, CriticalKindsAreTheHardFaults) {
     EXPECT_TRUE(
         mgmt::IsCriticalTelemetry(mgmt::TelemetryKind::kTemperatureShutdown));
