@@ -4,7 +4,11 @@
 // dispatcher's circuit breaker and health-plane subscription latch the
 // dead pod out of rotation, in-flight queries caught on it re-inject
 // onto the survivor, and service continues without losing a single
-// accepted query.
+// accepted query. Act two: the field crew services the dead pod and
+// FederationTestbed::ReattachPod hot-attaches it back into the live
+// federation — hosts repaired, rings redeployed, breaker reset — and
+// the rejoining pod earns its traffic share back through the
+// dispatcher's warm-up ramp.
 
 #include <cstdio>
 
@@ -98,11 +102,51 @@ int main() {
                     bed.pod(1).pool().counters().dispatched),
                 bed.pod(1).pool().available_rings());
 
-    const bool ok = lost == 0 && completed == accepted && accepted > 0 &&
-                    !bed.dispatcher().pod_eligible(0) &&
-                    bed.dispatcher().pod_eligible(1) &&
-                    counters.failovers > 0;
+    const bool incident_ok = lost == 0 && completed == accepted &&
+                             accepted > 0 &&
+                             !bed.dispatcher().pod_eligible(0) &&
+                             bed.dispatcher().pod_eligible(1) &&
+                             counters.failovers > 0;
     std::printf("\n%s: every accepted query completed on the surviving pod\n",
-                ok ? "SUCCESS" : "FAILURE");
-    return ok ? 0 : 1;
+                incident_ok ? "SUCCESS" : "FAILURE");
+    if (!incident_ok) return 1;
+
+    // --- Act two: field service + live re-admission -------------------
+    std::printf("\n[t=%s] field crew services pod 0 (boot repair + power "
+                "cycle + ring redeploy)\n",
+                FormatTime(bed.simulator().Now()).c_str());
+    bool reattached = false;
+    bed.ReattachPod(0, [&](bool ok2) { reattached = ok2; });
+    bed.simulator().Run();
+    std::printf("[t=%s] pod 0 %s; dispatcher stats: readmitted=%llu, "
+                "%d dead nodes\n",
+                FormatTime(bed.simulator().Now()).c_str(),
+                reattached ? "re-admitted into rotation" : "FAILED to rejoin",
+                static_cast<unsigned long long>(
+                    bed.dispatcher().pod_stats(0).readmitted),
+                bed.dispatcher().pod_dead_nodes(0));
+    if (!reattached) return 1;
+
+    // Traffic again: the rejoined pod must carry part of it.
+    const std::uint64_t pod0_before = bed.pod(0).pool().counters().dispatched;
+    accepted = completed = lost = 0;
+    for (int i = 0; i < 400; ++i) {
+        bed.simulator().ScheduleAfter(Microseconds(100) * i,
+                                      [&, i] { inject_one(i % 32); });
+    }
+    bed.simulator().Run();
+    const std::uint64_t pod0_served =
+        bed.pod(0).pool().counters().dispatched - pod0_before;
+    std::printf("\n[t=%s] post-re-admission traffic: accepted=%d "
+                "completed=%d lost=%d; pod 0 served %llu\n",
+                FormatTime(bed.simulator().Now()).c_str(), accepted,
+                completed, lost,
+                static_cast<unsigned long long>(pod0_served));
+
+    const bool readmit_ok = lost == 0 && completed == accepted &&
+                            bed.dispatcher().pod_eligible(0) &&
+                            pod0_served > 0;
+    std::printf("\n%s: serviced pod rejoined the live federation\n",
+                readmit_ok ? "SUCCESS" : "FAILURE");
+    return readmit_ok ? 0 : 1;
 }

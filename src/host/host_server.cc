@@ -90,6 +90,17 @@ void HostServer::HardReboot(std::function<void()> on_done) {
 }
 
 void HostServer::FinishReboot(ServerState via, std::function<void()> on_done) {
+    // Superseded: another reboot path changed the machine's state while
+    // this one was pending (field service arriving during the health
+    // plane's escalation ladder, or the ladder escalating over a
+    // service in progress). The later state machine owns the hardware;
+    // report completion without power-cycling it a second time — the
+    // waiting caller re-examines the machine and sees whatever the
+    // owning reboot produced.
+    if (state_ != via) {
+        on_done();
+        return;
+    }
     // Injected boot failures: the machine does not come back (§3.5's
     // ladder escalates from here).
     if (boot_permanently_broken_ ||
@@ -115,6 +126,21 @@ void HostServer::FinishReboot(ServerState via, std::function<void()> on_done) {
 void HostServer::BreakBoot(int soft_failures, bool permanent) {
     broken_soft_boots_ = soft_failures;
     boot_permanently_broken_ = permanent;
+}
+
+void HostServer::Service(std::function<void()> on_done) {
+    // The repair clears every injected boot defect before the power
+    // cycle, so FinishReboot brings the machine back for real.
+    ++counters_.services;
+    broken_soft_boots_ = 0;
+    boot_permanently_broken_ = false;
+    state_ = ServerState::kHardRebooting;
+    LOG_INFO("host") << name_ << ": field service (repair + power cycle)";
+    simulator_->ScheduleAfter(
+        config_.hard_reboot_duration,
+        [this, on_done = std::move(on_done)]() mutable {
+            FinishReboot(ServerState::kHardRebooting, std::move(on_done));
+        });
 }
 
 void HostServer::CrashAndReboot(const std::string& reason) {

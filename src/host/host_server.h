@@ -85,6 +85,15 @@ class HostServer {
     void CrashAndReboot(const std::string& reason);
 
     /**
+     * Field service (§3.5's manual-service exit): the machine is
+     * repaired or replaced — the boot path works again — and
+     * power-cycled. `on_done` fires once the server is back in
+     * kRunning (hard-reboot duration later); the FPGA power-cycles
+     * with it and comes up with RX Halt engaged, awaiting re-mapping.
+     */
+    void Service(std::function<void()> on_done);
+
+    /**
      * Failure injection: break the boot path. The next `soft_failures`
      * soft reboots fail to bring the machine back (it stays crashed);
      * with `permanent`, hard reboots fail too — the §3.5 ladder then
@@ -97,6 +106,7 @@ class HostServer {
         std::uint64_t nmi_crashes = 0;
         std::uint64_t soft_reboots = 0;
         std::uint64_t hard_reboots = 0;
+        std::uint64_t services = 0;  ///< Field-service visits.
     };
     const Counters& counters() const { return counters_; }
 

@@ -147,6 +147,22 @@ void FailureInjector::ScheduleLinkFlap(int node, shell::Port port, Time when,
     });
 }
 
+void FailureInjector::ScheduleDegradationRamp(const std::vector<int>& nodes,
+                                              Time when, Time interval,
+                                              Time flap_duration) {
+    Time at = when;
+    for (const int node : nodes) {
+        ScheduleThermalShutdown(node, at);
+        // The flap rides slightly behind the shutdown so its link-down
+        // burst lands while the thermal investigation is in flight —
+        // compounding fault pressure, exactly the trend signature the
+        // forecaster windows over.
+        ScheduleLinkFlap(node, shell::Port::kEast, at + interval / 4,
+                         flap_duration);
+        at += interval;
+    }
+}
+
 void FailureInjector::ScheduleRandomReboots(int count, Time horizon) {
     for (int i = 0; i < count; ++i) {
         const int node =

@@ -79,6 +79,20 @@ class FailureInjector {
      */
     void ScheduleRandomReboots(int count, Time horizon);
 
+    /**
+     * Staged degradation (the slow death the predictive health plane
+     * exists to catch): starting at `when`, a thermal shutdown marches
+     * across `nodes` every `interval` — a failing fan taking out one
+     * server after another — with an SL3 link flap of `flap_duration`
+     * alongside each (marginal cabling in the same hot aisle). The pod
+     * sheds capacity over `nodes.size() * interval` instead of
+     * instantly, so fault-event rates and recovery churn trend upward
+     * long before the pod hard-fails.
+     */
+    void ScheduleDegradationRamp(const std::vector<int>& nodes, Time when,
+                                 Time interval,
+                                 Time flap_duration = Milliseconds(5));
+
     std::uint64_t injected_count() const { return injected_; }
 
   private:

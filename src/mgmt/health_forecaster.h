@@ -1,0 +1,280 @@
+// Predictive health plane: per-pod degradation forecasting.
+//
+// The §3.5 failure ladder is reactive — a machine must miss heartbeats
+// or latch a fatal fault before the control plane acts, so every
+// degradation episode burns in-flight retries before traffic moves.
+// Datacenter fleets die slow deaths far more often than they die
+// instantly: a failing fan ramps die temperature over seconds, a
+// marginal cable flaps with rising frequency, a sick pod's rings churn
+// through spare rotations. This forecaster turns those leading
+// indicators — TelemetryBus fault-event rates, heartbeat miss rates,
+// ring-recovery churn and the dead-node fraction — into one continuous
+// 0..1 health score per pod, EWMA-smoothed over a sliding trend
+// window, so the federation's dispatcher can shed load from a pod
+// *before* it hard-fails and ramp a serviced pod back in gradually.
+//
+// The score is published on a HealthScoreFeed (the push spine of the
+// predictive plane, mirroring the TelemetryBus for the reactive one).
+// Banding is hysteretic: a pod *enters* Degraded/Critical at a lower
+// score than it *exits*, so a score hovering at a threshold cannot
+// flap the dispatcher's shed decision. A cold-start grace holds the
+// band at WarmingUp until one full trend window has been observed —
+// a freshly attached (or freshly re-admitted) pod is never shed on a
+// half-filled window.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/units.h"
+#include "mgmt/health_monitor.h"
+#include "mgmt/telemetry_bus.h"
+#include "sim/simulator.h"
+
+namespace catapult::mgmt {
+
+/** Hysteretic classification of a pod's smoothed health score. */
+enum class HealthBand {
+    kWarmingUp,  ///< Cold-start grace: not enough samples to judge.
+    kHealthy,
+    kDegraded,   ///< Declining: drain the pod's admission share.
+    kCritical,   ///< Below the shed floor: proactively shed traffic.
+};
+
+const char* ToString(HealthBand band);
+
+/** One published health observation for a pod. */
+struct HealthScoreSample {
+    int pod = 0;
+    /** EWMA-smoothed health, 1.0 = pristine, 0.0 = gone. */
+    double score = 1.0;
+    /** This window's raw (unsmoothed) health estimate. */
+    double instantaneous = 1.0;
+    HealthBand band = HealthBand::kWarmingUp;
+    Time timestamp = 0;
+};
+
+class HealthScoreFeed;
+
+/**
+ * RAII subscription handle for the score feed; unsubscribes on
+ * destruction so a torn-down subscriber (a dispatcher dropping a pod)
+ * can never be invoked through a dangling callback. Move-only.
+ */
+class HealthScoreSubscription {
+  public:
+    HealthScoreSubscription() = default;
+    HealthScoreSubscription(HealthScoreFeed* feed, int id)
+        : feed_(feed), id_(id) {}
+    ~HealthScoreSubscription() { Reset(); }
+
+    HealthScoreSubscription(HealthScoreSubscription&& other) noexcept
+        : feed_(other.feed_), id_(other.id_) {
+        other.feed_ = nullptr;
+        other.id_ = 0;
+    }
+    HealthScoreSubscription& operator=(
+        HealthScoreSubscription&& other) noexcept {
+        if (this != &other) {
+            Reset();
+            feed_ = other.feed_;
+            id_ = other.id_;
+            other.feed_ = nullptr;
+            other.id_ = 0;
+        }
+        return *this;
+    }
+
+    HealthScoreSubscription(const HealthScoreSubscription&) = delete;
+    HealthScoreSubscription& operator=(const HealthScoreSubscription&) =
+        delete;
+
+    /** Unsubscribe now (idempotent). */
+    void Reset();
+
+    bool active() const { return feed_ != nullptr; }
+
+  private:
+    HealthScoreFeed* feed_ = nullptr;
+    int id_ = 0;
+};
+
+/**
+ * Pub/sub feed of per-pod health scores: the seam between the
+ * management plane (forecasters publish) and the service plane
+ * (dispatchers subscribe). One feed per pod, samples stamped with the
+ * pod id, exactly like the TelemetryBus.
+ */
+class HealthScoreFeed {
+  public:
+    using SubscriberId = int;
+
+    explicit HealthScoreFeed(sim::Simulator* simulator);
+
+    HealthScoreFeed(const HealthScoreFeed&) = delete;
+    HealthScoreFeed& operator=(const HealthScoreFeed&) = delete;
+
+    /** Deliver `sample` to every subscriber, synchronously. */
+    void Publish(HealthScoreSample sample);
+
+    SubscriberId Subscribe(std::function<void(const HealthScoreSample&)> fn);
+    void Unsubscribe(SubscriberId id);
+    HealthScoreSubscription SubscribeScoped(
+        std::function<void(const HealthScoreSample&)> fn) {
+        return HealthScoreSubscription(this, Subscribe(std::move(fn)));
+    }
+
+    /** The most recently published sample (default-healthy before any). */
+    const HealthScoreSample& last() const { return last_; }
+    std::uint64_t published() const { return published_; }
+    int subscriber_count() const {
+        int count = 0;
+        for (const auto& subscriber : subscribers_) {
+            if (subscriber.fn) ++count;
+        }
+        return count;
+    }
+
+  private:
+    struct Subscriber {
+        SubscriberId id;
+        std::function<void(const HealthScoreSample&)> fn;
+    };
+
+    sim::Simulator* simulator_;
+    std::vector<Subscriber> subscribers_;
+    SubscriberId next_id_ = 1;
+    HealthScoreSample last_;
+    std::uint64_t published_ = 0;
+};
+
+/**
+ * Per-pod trend model: samples fault-signal rates on a daemon cadence,
+ * folds them into a smoothed health score, and publishes every sample
+ * on the pod's HealthScoreFeed.
+ *
+ * Signal taps: a TelemetryBus subscription (fault events), the
+ * HealthMonitor's watchdog counters and dead list (heartbeat misses,
+ * nodes flagged for manual service), and an opaque recovery-churn
+ * probe — a std::function because the ServicePool that counts ring
+ * recoveries lives *above* the management plane in the link graph.
+ */
+class HealthForecaster {
+  public:
+    struct Config {
+        /** Stamped on every published sample. */
+        int pod_id = 0;
+        /** Daemon sampling cadence. */
+        Time sample_period = Milliseconds(10);
+        /** Sliding trend window, in samples. */
+        int window_samples = 8;
+        /**
+         * Cold-start grace: band stays WarmingUp (never shed) until
+         * this many samples have been observed — one full window by
+         * default.
+         */
+        int warmup_samples = 8;
+        /** EWMA smoothing factor applied to the instantaneous health. */
+        double ewma_alpha = 0.35;
+
+        // --- Stress weights (rate in events/s -> dimensionless) ------
+        // Instantaneous health is 1 / (1 + stress): 50 fault events/s
+        // sustained (weight 0.02) alone reads as health 0.5. The
+        // defaults are sized so one isolated machine reboot (a few
+        // heartbeat misses plus one ring recovery inside a window)
+        // reads as Degraded, while sustained churn — a thermal ramp
+        // marching across nodes, a pod-wide blackout's miss storm —
+        // sinks the score through the Critical/shed floor.
+
+        double fault_event_weight = 0.02;
+        double heartbeat_miss_weight = 0.02;
+        /** One recovery inside an 80 ms window reads as stress ~0.75. */
+        double recovery_weight = 0.06;
+
+        // --- Hysteresis bands on the smoothed score ------------------
+        // Enter thresholds sit below exit thresholds, so a score
+        // hovering at a boundary cannot flap the band.
+
+        double degraded_enter = 0.70;
+        double degraded_exit = 0.85;
+        double critical_enter = 0.35;
+        double critical_exit = 0.55;
+    };
+
+    HealthForecaster(sim::Simulator* simulator, HealthScoreFeed* feed,
+                     Config config);
+
+    HealthForecaster(const HealthForecaster&) = delete;
+    HealthForecaster& operator=(const HealthForecaster&) = delete;
+
+    /** Stops sampling and drops the telemetry subscription. */
+    ~HealthForecaster();
+
+    /** Count this pod's fault events toward the stress signal. */
+    void AttachTelemetry(TelemetryBus* bus);
+    /** Poll watchdog counters and the dead list from `monitor`. */
+    void AttachHealthMonitor(const HealthMonitor* monitor);
+    /** Ring-recovery churn source (e.g. ServicePool recoveries). */
+    void set_recovery_churn_probe(std::function<std::uint64_t()> probe) {
+        churn_probe_ = std::move(probe);
+    }
+
+    /** Start the daemon sampling loop (idempotent). */
+    void Start();
+    void Stop();
+    bool running() const { return running_; }
+
+    /**
+     * Re-admission support: a serviced pod's fault history must not
+     * poison its fresh score. Clears the trend window, restarts the
+     * cold-start grace (band WarmingUp, score 1.0) and re-bases the
+     * counter snapshots so blackout-era backlog is not counted as new
+     * signal. Publishes the reset sample immediately.
+     */
+    void ResetForReadmission();
+
+    double score() const { return score_; }
+    HealthBand band() const { return band_; }
+
+    struct Counters {
+        std::uint64_t samples = 0;
+        std::uint64_t band_transitions = 0;
+        std::uint64_t telemetry_events = 0;
+    };
+    const Counters& counters() const { return counters_; }
+
+  private:
+    struct WindowSlot {
+        std::uint64_t events = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t recoveries = 0;
+    };
+
+    void Tick();
+    HealthBand StepBand(HealthBand band, double score) const;
+    void SnapshotBaselines();
+
+    sim::Simulator* simulator_;
+    HealthScoreFeed* feed_;
+    Config config_;
+    const HealthMonitor* monitor_ = nullptr;
+    std::function<std::uint64_t()> churn_probe_;
+    TelemetrySubscription telemetry_subscription_;
+
+    std::deque<WindowSlot> window_;
+    std::uint64_t events_seen_ = 0;       ///< via telemetry subscription
+    std::uint64_t last_events_ = 0;
+    std::uint64_t last_misses_ = 0;
+    std::uint64_t last_recoveries_ = 0;
+    int samples_seen_ = 0;
+    double score_ = 1.0;
+    HealthBand band_ = HealthBand::kWarmingUp;
+    bool running_ = false;
+    std::uint64_t epoch_ = 0;  ///< Orphans stale tick callbacks.
+    Counters counters_;
+};
+
+}  // namespace catapult::mgmt

@@ -175,7 +175,10 @@ void HealthMonitor::FinishMachine(std::shared_ptr<Context> ctx,
     state.last_concluded = simulator_->Now();
     state.consecutive_misses = 0;
     state.event_times.clear();
-    if (report.fault == FaultType::kUnresponsiveFatal) state.dead = true;
+    if (report.fault == FaultType::kUnresponsiveFatal && !state.dead) {
+        state.dead = true;
+        ++dead_node_count_;
+    }
     // A confirmed fault already fans out the full response below, so a
     // critical event parked during this investigation is satisfied and
     // must not re-investigate the same excursion. A kNone conclusion
@@ -200,6 +203,14 @@ void HealthMonitor::FinishMachine(std::shared_ptr<Context> ctx,
 }
 
 // --- Watchdog --------------------------------------------------------------
+
+void HealthMonitor::MarkNodeServiced(int node) {
+    NodeState& state = nodes_[static_cast<std::size_t>(node)];
+    if (state.dead) --dead_node_count_;
+    state = NodeState{};
+    LOG_INFO("health_monitor")
+        << "node " << node << " serviced; watchdog coverage resumes";
+}
 
 int HealthMonitor::AddFailureSubscriber(
     std::function<void(const MachineReport&)> fn) {

@@ -174,6 +174,21 @@ class HealthMonitor {
         return nodes_[static_cast<std::size_t>(node)].dead;
     }
 
+    /** Nodes currently flagged for manual service. */
+    int dead_node_count() const { return dead_node_count_; }
+    /** Nodes this monitor watches. */
+    int node_count() const { return static_cast<int>(nodes_.size()); }
+
+    /**
+     * Field service concluded on `node` (§3.5's manual-service exit):
+     * clears the dead flag and every watchdog grudge — miss streak,
+     * burst window, cooldown, parked suspicions — so heartbeats resume
+     * and a fresh fault on the serviced machine is investigated from a
+     * clean slate. The pod re-admission path calls this once the host
+     * is back up.
+     */
+    void MarkNodeServiced(int node);
+
     struct Counters {
         std::uint64_t investigations = 0;
         std::uint64_t queries = 0;
@@ -235,6 +250,7 @@ class HealthMonitor {
     std::function<void(const MachineReport&)> on_machine_failed_;
     std::vector<std::function<void(const MachineReport&)>> subscribers_;
     std::vector<NodeState> nodes_;
+    int dead_node_count_ = 0;
     std::vector<int> pending_suspects_;
     bool flush_scheduled_ = false;
     bool watchdog_running_ = false;

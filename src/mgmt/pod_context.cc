@@ -20,18 +20,33 @@ PodContext::PodContext(sim::Simulator* simulator, Config config)
             config_.pod_id * config_.fabric.topology.node_count();
     }
     if (config_.fabric.name_prefix == "pod0" && config_.pod_id > 0) {
-        config_.fabric.name_prefix = "pod" + std::to_string(config_.pod_id);
+        // Built up with += rather than `"pod" + std::to_string(...)`:
+        // GCC 12's -Wrestrict false-positives on operator+(const char*,
+        // string&&) when it inlines deeply (PR 105329).
+        config_.fabric.name_prefix = "pod";
+        config_.fabric.name_prefix += std::to_string(config_.pod_id);
     }
     config_.health.pod_id = config_.pod_id;
+    config_.forecast.pod_id = config_.pod_id;
+    // Stride the trace-id space per pod (ServicePool strides per ring
+    // below it): federation-unique ids make cross-pod FDR replay
+    // unambiguous. An explicit base set by the caller wins.
+    if (config_.service.trace_id_base == 0) {
+        config_.service.trace_id_base =
+            static_cast<std::uint64_t>(config_.pod_id) << 48;
+    }
 
     Rng rng(config_.seed);
     telemetry_ =
         std::make_unique<TelemetryBus>(simulator_, config_.pod_id);
     fabric_ = std::make_unique<fabric::CatapultFabric>(simulator_, rng.Fork(),
                                                        config_.fabric);
-    const std::string host_prefix =
-        config_.pod_id > 0 ? "p" + std::to_string(config_.pod_id) + ".srv"
-                           : "srv";
+    std::string host_prefix = "srv";
+    if (config_.pod_id > 0) {
+        host_prefix = "p";
+        host_prefix += std::to_string(config_.pod_id);
+        host_prefix += ".srv";
+    }
     for (int i = 0; i < fabric_->node_count(); ++i) {
         hosts_storage_.push_back(std::make_unique<host::HostServer>(
             simulator_, host_prefix + std::to_string(i), &fabric_->shell(i),
@@ -49,10 +64,22 @@ PodContext::PodContext(sim::Simulator* simulator, Config config)
     service::ServicePool::Config pool_config;
     pool_config.ring_count = config_.ring_count;
     pool_config.policy = config_.policy;
+    pool_config.max_in_flight_per_ring = config_.max_in_flight_per_ring;
     pool_config.ring = config_.service;
+    if (config_.service.archive_traces) {
+        // One archive per pod: every ring records into it (ids are
+        // pod+ring strided), so a cross-pod replay needs one archive
+        // lookup per pod, not one per ring.
+        trace_archive_ = std::make_unique<service::TraceArchive>(
+            config_.service.trace_archive_capacity);
+        pool_config.ring.shared_archive = trace_archive_.get();
+    }
     pool_ = std::make_unique<service::ServicePool>(
         simulator_, fabric_.get(), hosts_, mapping_manager_.get(),
         scheduler_.get(), std::move(pool_config));
+    health_feed_ = std::make_unique<HealthScoreFeed>(simulator_);
+    forecaster_ = std::make_unique<HealthForecaster>(
+        simulator_, health_feed_.get(), config_.forecast);
 
     if (!config_.autonomic) return;
     // The autonomic loop (§3.3, §3.5): components publish faults, the
@@ -86,6 +113,16 @@ PodContext::PodContext(sim::Simulator* simulator, Config config)
             }
         });
     health_monitor_->StartWatchdog();
+
+    if (!config_.predictive) return;
+    // The predictive plane rides on the reactive one's signals: fault
+    // events from the bus, watchdog miss/dead counters, and the pool's
+    // recovery churn, folded into the pod's published health score.
+    forecaster_->AttachTelemetry(telemetry_.get());
+    forecaster_->AttachHealthMonitor(health_monitor_.get());
+    forecaster_->set_recovery_churn_probe(
+        [pool = pool_.get()] { return pool->counters().recoveries; });
+    forecaster_->Start();
 }
 
 void PodContext::Deploy(std::function<void(bool)> on_done) {

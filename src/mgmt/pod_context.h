@@ -28,12 +28,14 @@
 #include "fabric/catapult_fabric.h"
 #include "host/host_server.h"
 #include "mgmt/failure_injector.h"
+#include "mgmt/health_forecaster.h"
 #include "mgmt/health_monitor.h"
 #include "mgmt/mapping_manager.h"
 #include "mgmt/pod_scheduler.h"
 #include "mgmt/telemetry_bus.h"
 #include "service/ranking_service.h"
 #include "service/service_pool.h"
+#include "service/trace_replay.h"
 #include "sim/simulator.h"
 
 namespace catapult::mgmt {
@@ -48,6 +50,8 @@ class PodContext {
         /** Rings the scheduler places onto the pod. */
         int ring_count = 1;
         service::DispatchPolicy policy = service::DispatchPolicy::kLeastInFlight;
+        /** Per-ring admission cap forwarded to the pool (0 = off). */
+        int max_in_flight_per_ring = 0;
         std::uint64_t seed = 0xBED5EEDull;
         /** Threads per host pre-registered with the slot driver. */
         int driver_threads = 32;
@@ -60,6 +64,18 @@ class PodContext {
          * Investigate / RecoverRing run only when called.
          */
         bool autonomic = true;
+        /**
+         * Run the predictive plane on top of the reactive one: the
+         * HealthForecaster samples this pod's fault-signal trends and
+         * publishes a health score on the pod's HealthScoreFeed, which
+         * a FederatedDispatcher uses for score-weighted routing and
+         * shed-before-failure. Requires `autonomic` (the forecaster
+         * taps the watchdog and the telemetry bus); off leaves the
+         * feed silent, so subscribers see a default-healthy pod.
+         */
+        bool predictive = true;
+        /** Forecaster tuning (sampling cadence, weights, bands). */
+        HealthForecaster::Config forecast;
         /**
          * Pod index within a federation. Unless the fabric config pins
          * them explicitly, the node base (global ids), fabric name
@@ -94,6 +110,23 @@ class PodContext {
     TelemetryBus& telemetry() { return *telemetry_; }
     service::ServicePool& pool() { return *pool_; }
 
+    /**
+     * The pod's health-score feed. Always constructed (so a dispatcher
+     * can subscribe unconditionally); silent unless the forecaster
+     * runs, in which case subscribers see a default-healthy pod.
+     */
+    HealthScoreFeed& health_feed() { return *health_feed_; }
+    HealthForecaster& forecaster() { return *forecaster_; }
+
+    /**
+     * Pod-level FDR trace archive: every ring of the pool records here
+     * when `service.archive_traces` is on (trace ids are pod+ring
+     * strided, so entries never collide). Null when archiving is off.
+     */
+    const service::TraceArchive* trace_archive() const {
+        return trace_archive_.get();
+    }
+
   private:
     Config config_;
     sim::Simulator* simulator_;
@@ -105,7 +138,10 @@ class PodContext {
     std::unique_ptr<HealthMonitor> health_monitor_;
     std::unique_ptr<FailureInjector> failure_injector_;
     std::unique_ptr<PodScheduler> scheduler_;
+    std::unique_ptr<service::TraceArchive> trace_archive_;
     std::unique_ptr<service::ServicePool> pool_;
+    std::unique_ptr<HealthScoreFeed> health_feed_;
+    std::unique_ptr<HealthForecaster> forecaster_;
 };
 
 }  // namespace catapult::mgmt

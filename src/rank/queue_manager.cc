@@ -76,6 +76,14 @@ QueueManager::DispatchDecision QueueManager::Next(Time now) {
     return decision;
 }
 
+void QueueManager::Reset() {
+    queues_.clear();
+    total_queued_ = 0;
+    has_model_ = false;
+    current_model_ = 0;
+    current_since_ = 0;
+}
+
 std::size_t QueueManager::QueuedFor(std::uint32_t model_id) const {
     const auto it = queues_.find(model_id);
     return it == queues_.end() ? 0 : it->second.size();

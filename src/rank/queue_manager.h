@@ -63,6 +63,15 @@ class QueueManager {
      */
     DispatchDecision Next(Time now);
 
+    /**
+     * Drop every queued entry and the current-model latch (counters
+     * survive). The DRAM queues live on the head FPGA, so a ring
+     * redeploy that reconfigures it wipes them in hardware; the policy
+     * state must follow, or the rebuilt head role would be handed
+     * entries whose packets died with its predecessor.
+     */
+    void Reset();
+
     std::uint32_t current_model() const { return current_model_; }
     bool has_current_model() const { return has_model_; }
     std::size_t QueuedFor(std::uint32_t model_id) const;

@@ -1,5 +1,6 @@
 #include "service/federated_dispatcher.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 #include <memory>
@@ -13,6 +14,7 @@ const char* ToString(FederationPolicy policy) {
       case FederationPolicy::kRoundRobin: return "round_robin";
       case FederationPolicy::kLeastInFlight: return "least_in_flight";
       case FederationPolicy::kModelAffinity: return "model_affinity";
+      case FederationPolicy::kScoreWeighted: return "score_weighted";
     }
     return "?";
 }
@@ -80,21 +82,146 @@ int FederatedDispatcher::AttachPod(mgmt::PodContext* pod) {
                     << " lost (every node fatal); latched out of rotation";
             }
         });
+    // The predictive plane: every published score updates the slot and
+    // drives the shed/unshed hysteresis. Pods without a running
+    // forecaster never publish, so they stay default-healthy here.
+    slot.score_subscription = pod->health_feed().SubscribeScoped(
+        [this, index](const mgmt::HealthScoreSample& sample) {
+            OnHealthSample(index, sample);
+        });
     pods_.push_back(std::move(slot));
     return index;
 }
 
+void FederatedDispatcher::OnHealthSample(
+    int pod_index, const mgmt::HealthScoreSample& sample) {
+    PodSlot& slot = pods_[static_cast<std::size_t>(pod_index)];
+    slot.health_score = sample.score;
+    slot.health_band = sample.band;
+    // Cold-start grace: a pod still warming up (fresh attach or fresh
+    // re-admission) is never shed on a half-filled trend window.
+    if (sample.band == mgmt::HealthBand::kWarmingUp) return;
+    if (!slot.shed && sample.score < config_.shed_floor) {
+        slot.shed = true;
+        ++shed_pod_count_;
+        ++slot.stat_shed_transitions;
+        ++counters_.sheds;
+        LOG_WARN("federation")
+            << "pod " << slot.context->pod_id() << " shed (score "
+            << sample.score << " < floor " << config_.shed_floor
+            << "); probing one query at a time";
+    } else if (slot.shed && sample.score >= config_.shed_exit) {
+        // Hysteresis: rejoin only once the score clears the exit
+        // threshold, so a score hovering at the floor cannot flap the
+        // pod in and out of rotation.
+        slot.shed = false;
+        --shed_pod_count_;
+        LOG_INFO("federation")
+            << "pod " << slot.context->pod_id()
+            << " recovered past shed hysteresis (score " << sample.score
+            << " >= " << config_.shed_exit << "); back in rotation";
+    }
+}
+
+void FederatedDispatcher::ReadmitPod(int index) {
+    PodSlot& slot = pods_[static_cast<std::size_t>(index)];
+    const Time now = simulator_->Now();
+    // Breaker reset, fatal latch included: the dead-node ledger
+    // restarts from zero, so a fresh fatal fault on the serviced pod
+    // re-counts toward a new latch instead of inheriting the old one.
+    slot.breaker_open_until = 0;
+    slot.breaker_opened_at = now;  // pre-readmission stragglers ignored
+    slot.failure_streak = 0;
+    slot.probe_in_flight = false;
+    std::fill(slot.node_dead.begin(), slot.node_dead.end(), 0);
+    slot.dead_nodes = 0;
+    if (slot.shed) --shed_pod_count_;
+    slot.shed = false;
+    slot.health_score = 1.0;
+    slot.health_band = mgmt::HealthBand::kWarmingUp;
+    slot.warmup_start = now;
+    slot.warmup_until = now + config_.readmission_warmup;
+    ++slot.stat_readmitted;
+    ++counters_.readmissions;
+    LOG_INFO("federation")
+        << "pod " << slot.context->pod_id()
+        << " re-admitted; warm-up ramp "
+        << ToMicroseconds(config_.readmission_warmup) << " us";
+}
+
+FederatedDispatcher::PodStats FederatedDispatcher::pod_stats(
+    int index) const {
+    const PodSlot& slot = pods_[static_cast<std::size_t>(index)];
+    PodStats stats;
+    stats.in_flight = slot.in_flight;
+    stats.eligible = Eligible(slot);
+    stats.shed = slot.shed;
+    stats.health_score = slot.health_score;
+    stats.band = slot.health_band;
+    stats.shed_queries = slot.stat_shed_queries;
+    stats.shed_transitions = slot.stat_shed_transitions;
+    stats.rejected = slot.stat_rejected;
+    stats.readmitted = slot.stat_readmitted;
+    stats.fault_reports = slot.fault_reports;
+    stats.dead_nodes = slot.dead_nodes;
+    return stats;
+}
+
 bool FederatedDispatcher::Eligible(const PodSlot& slot) const {
+    // Breaker first: the fatal-pod latch must win even over a
+    // stale-good health score (a forecaster that stopped publishing —
+    // or never ran — leaves score 1.0 behind).
     if (simulator_->Now() < slot.breaker_open_until) return false;
     // Probation expired but the breaker has not closed yet: the pod is
     // half-open and admits exactly one probe query at a time — the
     // full traffic share returns only once a probe succeeds.
     if (slot.breaker_open_until != 0 && slot.probe_in_flight) return false;
-    if (config_.max_in_flight_per_pod > 0 &&
-        slot.in_flight >= config_.max_in_flight_per_pod) {
-        return false;
+    // Proactively shed by the predictive plane: out of the normal
+    // rotation (PickShedProbe trickles one query at a time through).
+    if (slot.shed) return false;
+    int cap = config_.max_in_flight_per_pod;
+    if (cap > 0) {
+        // Graceful shed-before-failure: a declining pod's admission
+        // cap drains with its score — in every band past the grace
+        // window, so a Critical-but-unshed pod never gets a *larger*
+        // cap than a Degraded one — and a freshly re-admitted pod's
+        // cap ramps up with its warm-up, so pressure moves off (or
+        // back onto) a pod gradually instead of at the breaker's edge.
+        if (slot.health_band != mgmt::HealthBand::kWarmingUp) {
+            cap = std::max(
+                1, static_cast<int>(static_cast<double>(cap) *
+                                    slot.health_score));
+        }
+        cap = std::max(1, static_cast<int>(static_cast<double>(cap) *
+                                           WarmupRamp(slot)));
+        if (slot.in_flight >= cap) return false;
     }
     return slot.context->pool().available_rings() > 0;
+}
+
+double FederatedDispatcher::WarmupRamp(const PodSlot& slot) const {
+    // Linear re-admission ramp from the configured floor to full over
+    // [warmup_start, warmup_until); 1.0 outside the window.
+    const Time now = simulator_->Now();
+    if (now >= slot.warmup_until || slot.warmup_until <= slot.warmup_start) {
+        return 1.0;
+    }
+    const double ramp =
+        static_cast<double>(now - slot.warmup_start) /
+        static_cast<double>(slot.warmup_until - slot.warmup_start);
+    return config_.warmup_weight_floor +
+           (1.0 - config_.warmup_weight_floor) * ramp;
+}
+
+double FederatedDispatcher::EffectiveWeight(const PodSlot& slot) const {
+    // A warming-up pod has no verdict yet and weighs as healthy; a
+    // banded pod weighs by its score, floored so a degraded-but-unshed
+    // pod still sees trickle traffic (the signal the breaker and the
+    // forecaster both need).
+    const double weight = slot.health_band == mgmt::HealthBand::kWarmingUp
+                              ? 1.0
+                              : std::max(slot.health_score, 0.05);
+    return weight * WarmupRamp(slot);
 }
 
 bool FederatedDispatcher::pod_eligible(int index) const {
@@ -103,6 +230,7 @@ bool FederatedDispatcher::pod_eligible(int index) const {
 
 int FederatedDispatcher::PickPod(std::uint32_t model_id,
                                  std::uint64_t tried) {
+    last_wrr_debit_ = 0.0;  // only the WRR branch charges credit
     const int n = pod_count();
     if (n == 0) return -1;
     const auto skipped = [tried](int i) {
@@ -131,7 +259,43 @@ int FederatedDispatcher::PickPod(std::uint32_t model_id,
                 return static_cast<int>(at);
             }
         }
-        return -1;
+        return PickShedProbe(tried);
+    }
+
+    if (config_.policy == FederationPolicy::kScoreWeighted) {
+        // Smooth weighted round-robin (deterministic, no RNG): every
+        // eligible pod accrues credit equal to its weight, the richest
+        // pod wins and pays the round's total back — over time each
+        // pod's share converges to weight / sum(weights), without the
+        // bursts a quantized scheme would produce. The health score is
+        // a *trend* signal and lags a fresh failure by a window, so
+        // the instantaneous weight also divides by outstanding load:
+        // a pod whose queries have stopped returning (in-flight piling
+        // up) loses share immediately, before the forecaster has seen
+        // enough to shed it — while an idle warming-up pod still gets
+        // its guaranteed ramp share (credit accrual cannot starve).
+        int best = -1;
+        double total = 0.0;
+        for (int i = 0; i < n; ++i) {
+            if (skipped(i)) continue;
+            PodSlot& slot = pods_[static_cast<std::size_t>(i)];
+            if (!Eligible(slot)) continue;
+            const double weight = EffectiveWeight(slot) /
+                                  (1.0 + static_cast<double>(slot.in_flight));
+            slot.wrr_credit += weight;
+            total += weight;
+            if (best < 0 ||
+                slot.wrr_credit >
+                    pods_[static_cast<std::size_t>(best)].wrr_credit) {
+                best = i;
+            }
+        }
+        if (best >= 0) {
+            pods_[static_cast<std::size_t>(best)].wrr_credit -= total;
+            last_wrr_debit_ = total;
+            return best;
+        }
+        return PickShedProbe(tried);
     }
 
     // Least-in-flight (also the affinity fallback).
@@ -145,7 +309,34 @@ int FederatedDispatcher::PickPod(std::uint32_t model_id,
             best = i;
         }
     }
-    return best;
+    if (best >= 0) return best;
+    return PickShedProbe(tried);
+}
+
+void FederatedDispatcher::RefundFailedPick(int pod_index) {
+    if (last_wrr_debit_ == 0.0) return;
+    pods_[static_cast<std::size_t>(pod_index)].wrr_credit += last_wrr_debit_;
+    last_wrr_debit_ = 0.0;
+}
+
+int FederatedDispatcher::PickShedProbe(std::uint64_t tried) {
+    // No pod is in normal rotation: a shed pod beats a reject. Shed is
+    // precautionary (the predictive plane may be wrong, or the fault
+    // may have cleared), so admit one probe query at a time — the
+    // half-open pattern — rather than writing the capacity off.
+    const int n = pod_count();
+    for (int i = 0; i < n; ++i) {
+        if ((tried >> static_cast<unsigned>(i)) & 1u) continue;
+        const PodSlot& slot = pods_[static_cast<std::size_t>(i)];
+        if (!slot.shed || slot.probe_in_flight) continue;
+        if (simulator_->Now() < slot.breaker_open_until) continue;
+        if (config_.max_in_flight_per_pod > 0 &&
+            slot.in_flight >= config_.max_in_flight_per_pod) {
+            continue;
+        }
+        if (slot.context->pool().available_rings() > 0) return i;
+    }
+    return -1;
 }
 
 host::SendStatus FederatedDispatcher::Inject(
@@ -173,8 +364,19 @@ host::SendStatus FederatedDispatcher::Inject(
         }
         if (TryInject(pick, query) == host::SendStatus::kOk) {
             ++counters_.accepted;
+            // Attribution for the shed stats: this accepted query was
+            // routed around every pod currently shed (the numeric
+            // evidence benches assert instead of scraping logs). The
+            // scan is skipped outright in the healthy steady state.
+            if (shed_pod_count_ > 0) {
+                for (int i = 0; i < pod_count(); ++i) {
+                    PodSlot& slot = pods_[static_cast<std::size_t>(i)];
+                    if (slot.shed && i != pick) ++slot.stat_shed_queries;
+                }
+            }
             return host::SendStatus::kOk;
         }
+        RefundFailedPick(pick);
         tried |= std::uint64_t{1} << static_cast<unsigned>(pick);
     }
     ++counters_.rejected;
@@ -185,13 +387,15 @@ host::SendStatus FederatedDispatcher::TryInject(
     int pod_index, std::shared_ptr<QueryContext> query) {
     PodSlot& slot = pods_[static_cast<std::size_t>(pod_index)];
     const Time injected_at = simulator_->Now();
-    // Admission through a half-open breaker is the probe: exactly one
-    // at a time (Eligible gates the rest), and its outcome alone
-    // decides whether the breaker closes or re-opens.
-    const bool is_probe = slot.breaker_open_until != 0 &&
-                          slot.breaker_open_until !=
-                              std::numeric_limits<Time>::max() &&
-                          injected_at >= slot.breaker_open_until;
+    // Admission through a half-open breaker — or into a shed pod — is
+    // a probe: exactly one at a time (Eligible / PickShedProbe gate
+    // the rest), and its outcome alone decides whether the breaker
+    // closes or re-opens.
+    const bool is_probe = slot.shed ||
+                          (slot.breaker_open_until != 0 &&
+                           slot.breaker_open_until !=
+                               std::numeric_limits<Time>::max() &&
+                           injected_at >= slot.breaker_open_until);
     const auto status = slot.context->pool().Inject(
         query->thread, query->request,
         [this, pod_index, query, injected_at,
@@ -201,6 +405,8 @@ host::SendStatus FederatedDispatcher::TryInject(
     if (status == host::SendStatus::kOk) {
         ++slot.in_flight;
         if (is_probe) slot.probe_in_flight = true;
+    } else {
+        ++slot.stat_rejected;
     }
     return status;
 }
@@ -261,6 +467,7 @@ void FederatedDispatcher::Failover(std::shared_ptr<QueryContext> query,
         }
         if (pick < 0) break;
         if (TryInject(pick, query) == host::SendStatus::kOk) return;
+        RefundFailedPick(pick);
         tried |= std::uint64_t{1} << static_cast<unsigned>(pick);
     }
     // No pod accepted right now; spend another retry waiting for one

@@ -19,6 +19,16 @@
 // is re-injected onto a surviving pod rather than surfaced as a loss:
 // an accepted query only fails to its caller when every retry is
 // exhausted or no pod survives.
+//
+// The predictive plane acts *before* any of that: the dispatcher
+// subscribes to each pod's HealthScoreFeed (mgmt::HealthForecaster's
+// trend over fault-event rates, heartbeat misses, recovery churn and
+// dead nodes). Under kScoreWeighted, traffic is proportional to each
+// pod's score; a pod whose score sinks below the shed floor is
+// proactively shed — out of normal rotation, still probed one query at
+// a time — so a degrading pod stops eating retries before its first
+// hard failure. ReadmitPod reverses a latch-out for a serviced pod
+// with a warm-up ramp, so a rejoining pod earns its share gradually.
 
 #pragma once
 
@@ -29,6 +39,7 @@
 
 #include "common/units.h"
 #include "host/slot_dma_channel.h"
+#include "mgmt/health_forecaster.h"
 #include "mgmt/pod_context.h"
 #include "service/ranking_service.h"
 #include "sim/simulator.h"
@@ -40,6 +51,13 @@ enum class FederationPolicy {
     kRoundRobin,     ///< Cycle through eligible pods.
     kLeastInFlight,  ///< Pod with the fewest dispatcher-accepted queries.
     kModelAffinity,  ///< model_id hashes to a home pod (disjoint model sets).
+    /**
+     * Traffic proportional to each pod's published health score
+     * (smooth weighted round-robin — deterministic, no RNG): a
+     * declining pod's share shrinks as its score does, long before the
+     * shed floor or the breaker would act.
+     */
+    kScoreWeighted,
 };
 
 const char* ToString(FederationPolicy policy);
@@ -68,6 +86,27 @@ class FederatedDispatcher {
         int breaker_threshold = 6;
         /** How long an open breaker holds the pod out of rotation. */
         Time breaker_probation = Milliseconds(20);
+
+        // --- Predictive shed (health-score feed) ---------------------
+
+        /**
+         * Smoothed health score below which a pod is proactively shed:
+         * it leaves the normal rotation (one probe query at a time
+         * keeps testing it) before the first hard failure, so traffic
+         * moves without burning in-flight retries. Hysteresis: the pod
+         * rejoins full rotation only above `shed_exit`. A pod still in
+         * its cold-start grace (band WarmingUp) is never shed.
+         */
+        double shed_floor = 0.30;
+        double shed_exit = 0.55;
+        /**
+         * Re-admission warm-up: a pod hot-attached back into rotation
+         * (ReadmitPod) earns traffic gradually — its routing weight
+         * (and its admission cap, when configured) ramps from
+         * `warmup_weight_floor` to full over this window.
+         */
+        Time readmission_warmup = Milliseconds(60);
+        double warmup_weight_floor = 0.15;
     };
 
     FederatedDispatcher(sim::Simulator* simulator, Config config);
@@ -118,6 +157,38 @@ class FederatedDispatcher {
         return pods_[static_cast<std::size_t>(index)].dead_nodes;
     }
 
+    /**
+     * Hot-attach a serviced pod back into rotation: breaker reset (the
+     * fatal-pod latch included), dead-node ledger cleared, shed state
+     * lifted, and a warm-up ramp started so the rejoining pod earns
+     * traffic gradually. In-flight queries on surviving pods are
+     * untouched. The caller is responsible for the pod actually being
+     * healthy again (hosts serviced, pool redeployed) — see
+     * FederationTestbed::ReattachPod for the full sequence.
+     */
+    void ReadmitPod(int index);
+
+    /** Per-pod observability snapshot (benches/tests assert on this). */
+    struct PodStats {
+        int in_flight = 0;
+        bool eligible = false;
+        /** Proactively shed by the predictive plane right now. */
+        bool shed = false;
+        /** Latest published health score / band seen on the feed. */
+        double health_score = 1.0;
+        mgmt::HealthBand band = mgmt::HealthBand::kWarmingUp;
+        /** Accepted queries routed elsewhere while this pod was shed. */
+        std::uint64_t shed_queries = 0;
+        std::uint64_t shed_transitions = 0;
+        /** Pod-level refusals observed by the dispatcher. */
+        std::uint64_t rejected = 0;
+        /** Times this pod was re-admitted via ReadmitPod. */
+        std::uint64_t readmitted = 0;
+        std::uint64_t fault_reports = 0;
+        int dead_nodes = 0;
+    };
+    PodStats pod_stats(int index) const;
+
     FederationPolicy policy() const { return config_.policy; }
 
     struct Counters {
@@ -135,6 +206,10 @@ class FederatedDispatcher {
         std::uint64_t affinity_hits = 0;
         /** Breaker state transitions closed -> open. */
         std::uint64_t breaker_trips = 0;
+        /** Pods proactively shed by the predictive plane. */
+        std::uint64_t sheds = 0;
+        /** Pods hot-attached back into rotation (ReadmitPod). */
+        std::uint64_t readmissions = 0;
     };
     const Counters& counters() const { return counters_; }
 
@@ -156,6 +231,23 @@ class FederatedDispatcher {
         /** Distinct nodes flagged fatal (duplicate reports ignored). */
         std::vector<char> node_dead;
         int dead_nodes = 0;
+
+        // --- Predictive plane (health-score feed) --------------------
+        double health_score = 1.0;
+        mgmt::HealthBand health_band = mgmt::HealthBand::kWarmingUp;
+        /** Below the shed floor: out of normal rotation, probed only. */
+        bool shed = false;
+        /** Re-admission warm-up window ([start, until), 0 = none). */
+        Time warmup_start = 0;
+        Time warmup_until = 0;
+        /** Smooth-WRR credit for the score-weighted policy. */
+        double wrr_credit = 0.0;
+        mgmt::HealthScoreSubscription score_subscription;
+        // Per-pod stats (see PodStats).
+        std::uint64_t stat_shed_queries = 0;
+        std::uint64_t stat_shed_transitions = 0;
+        std::uint64_t stat_rejected = 0;
+        std::uint64_t stat_readmitted = 0;
     };
 
     /** One accepted query's life across retries. */
@@ -174,7 +266,21 @@ class FederatedDispatcher {
      * -1 when nothing fits.
      */
     int PickPod(std::uint32_t model_id, std::uint64_t tried);
+    int PickShedProbe(std::uint64_t tried);
+    /**
+     * Undo the smooth-WRR debit of the most recent PickPod when the
+     * picked pod's pool refused the query: a pick that served nothing
+     * must not cost credit, or repeated pool-level rejects would
+     * drive the pod's credit unboundedly negative and starve it long
+     * after it recovers.
+     */
+    void RefundFailedPick(int pod_index);
     bool Eligible(const PodSlot& slot) const;
+    /** Re-admission traffic ramp (floor..1 inside the warm-up window). */
+    double WarmupRamp(const PodSlot& slot) const;
+    /** Routing weight under kScoreWeighted (score x warm-up ramp). */
+    double EffectiveWeight(const PodSlot& slot) const;
+    void OnHealthSample(int pod_index, const mgmt::HealthScoreSample& sample);
     host::SendStatus TryInject(int pod_index,
                                std::shared_ptr<QueryContext> query);
     void OnPodResult(int pod_index, std::shared_ptr<QueryContext> query,
@@ -188,6 +294,10 @@ class FederatedDispatcher {
     Config config_;
     std::vector<PodSlot> pods_;
     std::size_t rr_cursor_ = 0;
+    /** Smooth-WRR round total debited by the last PickPod (for refunds). */
+    double last_wrr_debit_ = 0.0;
+    /** Pods currently shed (skips the per-query stats scan when 0). */
+    int shed_pod_count_ = 0;
     Counters counters_;
 };
 

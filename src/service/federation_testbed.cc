@@ -30,6 +30,46 @@ FederationTestbed::FederationTestbed(Config config)
     }
 }
 
+void FederationTestbed::ReattachPod(int index,
+                                    std::function<void(bool)> on_done) {
+    mgmt::PodContext& pod = this->pod(index);
+    // 1. Field service: every host repaired and power-cycled. The
+    //    servicing runs concurrently across the pod's machines; the
+    //    rest of the sequence waits for the last one.
+    auto pending = std::make_shared<int>(static_cast<int>(pod.hosts().size()));
+    auto resume = [this, index, on_done = std::move(on_done)]() mutable {
+        mgmt::PodContext& ready = this->pod(index);
+        // 2. The health plane forgives: every node was just field-
+        //    serviced, so every watchdog grudge goes — dead flags
+        //    (heartbeat coverage resumes), but also miss streaks,
+        //    cooldowns and parked critical suspicions on nodes that
+        //    had not escalated to dead yet; a leftover suspicion would
+        //    investigate freshly replaced hardware and re-flag it. The
+        //    pool's deferred blackout-era reports are dropped for the
+        //    same reason.
+        for (int node = 0; node < ready.fabric().node_count(); ++node) {
+            ready.health_monitor().MarkNodeServiced(node);
+        }
+        ready.pool().ClearRecoveryBacklog();
+        // 3. The forecaster forgets: blackout-era fault rates must not
+        //    poison the serviced pod's fresh score (cold-start grace
+        //    restarts, so the pod cannot be re-shed on a stale trend).
+        ready.forecaster().ResetForReadmission();
+        // 4. Redeploy the rings onto the serviced hardware, then
+        //    hot-attach the pod back into the dispatcher's rotation.
+        ready.pool().Deploy(
+            [this, index, on_done = std::move(on_done)](bool ok) {
+                if (ok) dispatcher_->ReadmitPod(index);
+                if (on_done) on_done(ok);
+            });
+    };
+    for (host::HostServer* host : pod.hosts()) {
+        host->Service([pending, resume]() mutable {
+            if (--*pending == 0) resume();
+        });
+    }
+}
+
 bool FederationTestbed::DeployAndSettle() {
     // Pods deploy concurrently: each owns its Mapping Manager, so only
     // rings within one pod serialize.

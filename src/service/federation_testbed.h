@@ -14,6 +14,7 @@
 
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -43,6 +44,21 @@ class FederationTestbed {
 
     /** Deploy every pod's pool and run until configuration settles. */
     bool DeployAndSettle();
+
+    /**
+     * Live pod re-admission: bring a serviced pod back into a running
+     * federation with zero disruption to in-flight queries on the
+     * surviving pods. The full sequence, all on simulated time:
+     * field-service every host (boot path repaired, hard-reboot-long
+     * power cycle), clear the Health Monitor's dead list so watchdog
+     * coverage resumes, reset the forecaster's trend (cold-start grace
+     * restarts), redeploy the pod's rings, and finally
+     * FederatedDispatcher::ReadmitPod — breaker reset plus a warm-up
+     * ramp so the rejoining pod earns traffic gradually. `on_done`
+     * fires with the redeploy verdict; on failure the pod stays out of
+     * rotation. Call while the simulator runs (or Run() after).
+     */
+    void ReattachPod(int index, std::function<void(bool)> on_done);
 
     sim::Simulator& simulator() { return simulator_; }
     int pod_count() const { return static_cast<int>(pods_.size()); }

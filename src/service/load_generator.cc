@@ -240,6 +240,90 @@ void FederatedOpenLoopInjector::ScheduleArrival() {
     });
 }
 
+FederatedPhasedInjector::FederatedPhasedInjector(
+    FederatedDispatcher* dispatcher, sim::Simulator* simulator, Config config)
+    : dispatcher_(dispatcher),
+      simulator_(simulator),
+      config_(std::move(config)),
+      generator_(config_.corpus_seed, config_.corpus) {
+    assert(dispatcher_ != nullptr && simulator_ != nullptr);
+    assert(std::is_sorted(config_.phase_offsets.begin(),
+                          config_.phase_offsets.end()));
+}
+
+int FederatedPhasedInjector::PhaseOf(Time now) const {
+    const Time offset = now - load_start_;
+    int phase = 0;
+    for (const Time boundary : config_.phase_offsets) {
+        if (offset < boundary) break;
+        ++phase;
+    }
+    return phase;
+}
+
+FederatedPhasedInjector::Result FederatedPhasedInjector::Run() {
+    result_ = Result{};
+    result_.phases.assign(config_.phase_offsets.size() + 1, Phase{});
+    load_start_ = simulator_->Now();
+    // Phase spans (final phase runs to the end of the arrival window).
+    for (std::size_t p = 0; p < result_.phases.size(); ++p) {
+        const Time start = p == 0 ? 0 : config_.phase_offsets[p - 1];
+        const Time end = p < config_.phase_offsets.size()
+                             ? config_.phase_offsets[p]
+                             : config_.duration;
+        result_.phases[p].start = start;
+        result_.phases[p].span = end - start;
+    }
+    assert(config_.rate_qps > 0.0);
+    const Time beat = static_cast<Time>(1e12 / config_.rate_qps);
+    const std::uint64_t arrivals =
+        static_cast<std::uint64_t>(config_.duration / beat);
+    for (std::uint64_t i = 0; i < arrivals; ++i) {
+        simulator_->ScheduleAt(load_start_ + beat * static_cast<Time>(i),
+                               [this] {
+            Phase& arrival_phase =
+                result_.phases[static_cast<std::size_t>(
+                    PhaseOf(simulator_->Now()))];
+            ++arrival_phase.arrivals;
+            rank::CompressedRequest request = generator_.Next();
+            if (config_.single_model) request.query.model_id = 0;
+            const int thread = arrival_seq_++ % config_.driver_threads;
+            const auto status = dispatcher_->Inject(
+                thread, request, [this](const ScoreResult& r) {
+                    // Attribute the completion to the phase it *lands*
+                    // in: that is what retained-QPS-across-an-incident
+                    // means (a query delayed across a fault boundary
+                    // counts against the incident phase).
+                    const std::size_t at = std::min(
+                        static_cast<std::size_t>(
+                            PhaseOf(simulator_->Now())),
+                        result_.phases.size() - 1);
+                    Phase& phase = result_.phases[at];
+                    if (r.ok) {
+                        ++phase.completed;
+                        ++result_.completed;
+                        if (config_.slo == 0 || r.latency <= config_.slo) {
+                            ++phase.completed_in_slo;
+                        }
+                        phase.latency_us.Add(ToMicroseconds(r.latency));
+                    } else {
+                        ++phase.failed;
+                        ++result_.failed;
+                    }
+                });
+            if (status == host::SendStatus::kOk) {
+                ++arrival_phase.accepted;
+                ++result_.accepted;
+            } else {
+                ++arrival_phase.rejected;
+                ++result_.rejected;
+            }
+        });
+    }
+    simulator_->Run();
+    return result_;
+}
+
 OpenLoopInjector::OpenLoopInjector(RankingService* service, Rng rng,
                                    Config config)
     : service_(service),

@@ -202,6 +202,94 @@ class FederatedOpenLoopInjector {
 };
 
 /**
+ * Degradation-ramp / incident load: a *paced* open loop (fixed
+ * interarrival beat, so offered load is identical run to run) against
+ * the FederatedDispatcher, with completions attributed to caller-named
+ * phases. This is the measurement harness for staged-failure
+ * scenarios: phase boundaries at fault injection, shed, re-admission
+ * and settle points let a bench compare steady-state QPS across an
+ * incident numerically — predictive shed vs reactive-only, pre-fault
+ * vs post-readmission — instead of eyeballing a time series.
+ */
+class FederatedPhasedInjector {
+  public:
+    struct Config {
+        /** Arrivals per second (fixed beat — no Poisson jitter). */
+        double rate_qps = 25'000.0;
+        Time duration = Milliseconds(100);
+        /**
+         * Ascending offsets from load start; k boundaries make k+1
+         * phases. Arrivals/accepts/rejects are attributed to the phase
+         * of the arrival, completions/failures to the phase of the
+         * completion (late completions land in the final phase).
+         */
+        std::vector<Time> phase_offsets;
+        /** Driver threads registered per host; arrivals rotate. */
+        int driver_threads = 32;
+        std::uint64_t corpus_seed = 42;
+        rank::DocumentGenerator::Config corpus;
+        bool single_model = true;
+        /**
+         * Latency SLO for goodput accounting (0 = off): a completion
+         * slower than this still counts in `completed` but not in
+         * `completed_in_slo`. This is §5's "throughput at a latency
+         * target" lens — in a lossless retrying federation a query
+         * caught on a dying pod is rarely *lost*, it is *late*, and
+         * goodput is where that damage shows up numerically.
+         */
+        Time slo = 0;
+    };
+
+    struct Phase {
+        Time start = 0;  ///< Offset from load start.
+        Time span = 0;
+        std::uint64_t arrivals = 0;
+        std::uint64_t accepted = 0;
+        std::uint64_t rejected = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t completed_in_slo = 0;
+        std::uint64_t failed = 0;
+        SampleStat latency_us;
+
+        /** Completions per second of wall-phase time. */
+        double Qps() const {
+            const double s = ToSeconds(span);
+            return s > 0 ? static_cast<double>(completed) / s : 0.0;
+        }
+        /** Completions inside the SLO per second of wall-phase time. */
+        double SloQps() const {
+            const double s = ToSeconds(span);
+            return s > 0 ? static_cast<double>(completed_in_slo) / s : 0.0;
+        }
+    };
+
+    struct Result {
+        std::vector<Phase> phases;
+        std::uint64_t accepted = 0;
+        std::uint64_t rejected = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t failed = 0;
+    };
+
+    FederatedPhasedInjector(FederatedDispatcher* dispatcher,
+                            sim::Simulator* simulator, Config config);
+
+    /** Run to completion (arrivals + drain); returns per-phase stats. */
+    Result Run();
+
+  private:
+    int PhaseOf(Time now) const;
+
+    FederatedDispatcher* dispatcher_;
+    sim::Simulator* simulator_;
+    Config config_;
+    rank::DocumentGenerator generator_;
+    Result result_;
+    Time load_start_ = 0;
+    int arrival_seq_ = 0;
+};
+
+/**
  * Open-loop injector: Poisson arrivals per injecting server. Arrivals
  * beyond the available slots queue host-side (the production software
  * stack in front of the driver).

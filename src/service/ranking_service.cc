@@ -55,7 +55,8 @@ RankingService::RankingService(sim::Simulator* simulator,
       config_(std::move(config)),
       models_(config_.models),
       queue_manager_(config_.queue_manager),
-      trace_archive_(config_.trace_archive_capacity) {
+      trace_archive_(config_.trace_archive_capacity),
+      next_trace_id_(config_.trace_id_base + 1) {
     assert(simulator_ != nullptr && fabric_ != nullptr);
     assert(mapping_manager_ != nullptr);
     assert(placement_.valid() && placement_.length == kRingLength &&
@@ -85,6 +86,13 @@ void RankingService::BuildRoles() {
             .SetRole(nullptr);
     }
     roles_.clear();
+    // The rebuilt head role starts with empty DRAM queues (its FPGA was
+    // just reconfigured), so the shared Queue Manager's policy state
+    // must restart too — stale entries would dispatch trace ids whose
+    // packets died with the old role. The orphaned documents surface as
+    // host timeouts (§3.2), which is the failover signal upstream
+    // layers already handle.
+    queue_manager_.Reset();
     for (int i = 0; i < kRingLength; ++i) {
         shell::Shell& shell =
             fabric_->shell(ring_nodes_[static_cast<std::size_t>(i)]);
@@ -250,7 +258,10 @@ void RankingService::OnResponse(std::uint64_t trace_id, bool ok, float score,
         trace.request = ctx.request;
         trace.score = ctx.final_score;
         trace.scored = ctx.store != nullptr;
-        trace_archive_.Record(trace_id, std::move(trace));
+        TraceArchive& archive = config_.shared_archive != nullptr
+                                    ? *config_.shared_archive
+                                    : trace_archive_;
+        archive.Record(trace_id, std::move(trace));
     }
     auto cb = std::move(ctx.on_complete);
     in_flight_.erase(it);

@@ -98,6 +98,19 @@ class RankingService {
          */
         bool archive_traces = false;
         std::size_t trace_archive_capacity = 65'536;
+        /**
+         * First trace id minus one. ServicePool strides this per ring
+         * and PodContext per pod, so trace ids are unique across a
+         * whole federation — a federation-level FDR replay can resolve
+         * any record to the archive holding its document.
+         */
+        std::uint64_t trace_id_base = 0;
+        /**
+         * Record archived traces here instead of the ring-local
+         * archive (the pod-level archive PodContext owns for
+         * cross-pod replay). The pointee must outlive the service.
+         */
+        TraceArchive* shared_archive = nullptr;
     };
 
     /**
@@ -158,7 +171,11 @@ class RankingService {
                           std::function<void(bool)> on_done);
 
     rank::ModelStore& models() { return models_; }
-    const TraceArchive& trace_archive() const { return trace_archive_; }
+    /** The archive this ring records into (shared when configured). */
+    const TraceArchive& trace_archive() const {
+        return config_.shared_archive != nullptr ? *config_.shared_archive
+                                                 : trace_archive_;
+    }
     const rank::Model& DefaultModel();
     rank::QueueManager& queue_manager();
     DocContext* FindContext(std::uint64_t trace_id);
@@ -225,7 +242,7 @@ class RankingService {
     std::unordered_map<std::uint64_t, DocContext> in_flight_;
     std::unordered_map<std::uint32_t, std::unique_ptr<rank::RankingFunction>>
         functions_;
-    std::uint64_t next_trace_id_ = 1;
+    std::uint64_t next_trace_id_;  ///< Starts at trace_id_base + 1.
     Counters counters_;
 };
 

@@ -52,6 +52,13 @@ ServicePool::ServicePool(sim::Simulator* simulator,
         RankingService::Config ring_config = config_.ring;
         ring_config.service_name =
             name() + "/ring" + std::to_string(k);
+        // Stride the trace-id space per ring (the pod's base arrives in
+        // config_.ring.trace_id_base): ids stay unique across every
+        // ring of every pod, which is what lets a federation-level FDR
+        // replay resolve a trace to the archive that holds it.
+        ring_config.trace_id_base =
+            config_.ring.trace_id_base +
+            (static_cast<std::uint64_t>(k) << 40);
         slot.service = std::make_unique<RankingService>(
             simulator_, fabric_, hosts, mapping_manager, slot.placement,
             std::move(ring_config));
@@ -117,11 +124,16 @@ void ServicePool::Deploy(std::function<void(bool)> on_done) {
 
 const std::vector<RingView>& ServicePool::Snapshot() {
     // Rebuilt in place: Inject runs once per document, so the snapshot
-    // buffer is reused rather than reallocated on every dispatch.
+    // buffer is reused rather than reallocated on every dispatch. A
+    // ring at its admission cap leaves the rotation for this pick only
+    // (slot.available is untouched — the cap is congestion, not
+    // failure, so it must not count as a drain).
     snapshot_.clear();
     for (const auto& slot : rings_) {
-        snapshot_.push_back(RingView{slot.available, slot.in_flight,
-                                     slot.placement.row});
+        const bool capped = config_.max_in_flight_per_ring > 0 &&
+                            slot.in_flight >= config_.max_in_flight_per_ring;
+        snapshot_.push_back(RingView{slot.available && !capped,
+                                     slot.in_flight, slot.placement.row});
     }
     return snapshot_;
 }
@@ -174,14 +186,22 @@ int ServicePool::NextResponsivePosition(RingSlot& slot) {
     return -1;
 }
 
+host::SendStatus ServicePool::RejectPick() {
+    ++counters_.rejected;
+    // Rings in rotation but nothing picked: the refusal came from the
+    // per-ring admission caps alone (bounded open-loop overload), not
+    // from drains.
+    if (config_.max_in_flight_per_ring > 0 && available_rings() > 0) {
+        ++counters_.cap_rejected;
+    }
+    return host::SendStatus::kTimeout;
+}
+
 host::SendStatus ServicePool::Inject(
     int thread, const rank::CompressedRequest& request,
     std::function<void(const ScoreResult&)> on_complete) {
     const int ring_id = dispatcher_.Pick(Snapshot(), /*preferred_row=*/-1);
-    if (ring_id < 0) {
-        ++counters_.rejected;
-        return host::SendStatus::kTimeout;
-    }
+    if (ring_id < 0) return RejectPick();
     RingSlot& slot = rings_[static_cast<std::size_t>(ring_id)];
     const int position = NextResponsivePosition(slot);
     if (position < 0) {
@@ -197,10 +217,7 @@ host::SendStatus ServicePool::InjectFrom(
     std::function<void(const ScoreResult&)> on_complete) {
     const auto coord = fabric_->topology().CoordOf(injector_node);
     const int ring_id = dispatcher_.Pick(Snapshot(), coord.row);
-    if (ring_id < 0) {
-        ++counters_.rejected;
-        return host::SendStatus::kTimeout;
-    }
+    if (ring_id < 0) return RejectPick();
     RingSlot& slot = rings_[static_cast<std::size_t>(ring_id)];
     const int cols = fabric_->topology().cols();
     int position = ColumnOffsetInRing(slot.placement, coord.col, cols);
@@ -329,8 +346,14 @@ void ServicePool::StartAutoRecovery(int ring_id, int position,
 
 void ServicePool::AutoRecover(int ring_id, int failed_ring_index,
                               int attempt) {
+    // Epoch capture: ClearRecoveryBacklog (pod re-admission) orphans
+    // this chain — the failed position refers to hardware the field
+    // service replaced, and the re-admission's own redeploy supersedes
+    // any retry still scheduled here.
+    const std::uint64_t epoch = recovery_epoch_;
     RecoverRing(ring_id, failed_ring_index, [this, ring_id, failed_ring_index,
-                                             attempt](bool ok) {
+                                             attempt, epoch](bool ok) {
+        if (epoch != recovery_epoch_) return;
         RingSlot& slot = rings_[static_cast<std::size_t>(ring_id)];
         if (ok) {
             slot.recovering = false;
@@ -350,7 +373,8 @@ void ServicePool::AutoRecover(int ring_id, int failed_ring_index,
         // retry (the rotation half is idempotent).
         simulator_->ScheduleAfter(
             config_.recovery_retry_delay, [this, ring_id, failed_ring_index,
-                                           attempt] {
+                                           attempt, epoch] {
+                if (epoch != recovery_epoch_) return;
                 AutoRecover(ring_id, failed_ring_index, attempt + 1);
             });
     });
@@ -391,6 +415,21 @@ void ServicePool::FlushDeferredReports(int ring_id) {
         }
         StartAutoRecovery(ring_id, position, "deferred health report");
         return;
+    }
+}
+
+void ServicePool::ClearRecoveryBacklog() {
+    // Orphan every scheduled retry and pending recovery completion:
+    // their epoch no longer matches, so they no-op instead of touching
+    // the rings the re-admission is about to redeploy. The recovering
+    // flags are cleared here because those orphaned callbacks were the
+    // only thing that would have cleared them.
+    ++recovery_epoch_;
+    for (auto& slot : rings_) {
+        slot.recovering = false;
+        slot.deferred_positions.clear();
+        // A scheduled flush finds the empty list and no-ops; the flag
+        // clears itself when it fires.
     }
 }
 

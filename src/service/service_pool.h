@@ -43,6 +43,15 @@ class ServicePool {
         int ring_count = 1;
         DispatchPolicy policy = DispatchPolicy::kLeastInFlight;
         /**
+         * Per-ring admission cap: pool-dispatched documents in flight
+         * on one ring; 0 = unbounded. A ring at its cap drops out of
+         * the dispatch rotation for the next pick, and when every
+         * in-rotation ring is at cap the document is rejected — never
+         * queued — so open-loop overload is bounded *below* the pod
+         * level (the federation's per-pod cap bounds it above).
+         */
+        int max_in_flight_per_ring = 0;
+        /**
          * Per-ring configuration shared by every ring. Its
          * `service_name` names the pool; rings deploy as
          * "<service_name>/ring<k>".
@@ -140,6 +149,16 @@ class ServicePool {
         on_ring_recovered_ = std::move(cb);
     }
 
+    /**
+     * Pod re-admission support: forget deferred health reports and
+     * recovery grudges accumulated while the pod was dark, and orphan
+     * any scheduled auto-recovery retries (their positions refer to
+     * hardware the field service just replaced — a stale retry firing
+     * after the redeploy would rotate a healthy ring around nothing).
+     * Call before redeploying onto serviced hardware.
+     */
+    void ClearRecoveryBacklog();
+
     /** Manual drain / rejoin (maintenance). */
     void SetRingAvailable(int ring_id, bool available);
     bool ring_available(int ring_id) const {
@@ -170,6 +189,12 @@ class ServicePool {
         std::uint64_t redirected = 0;
         /** Rejected because no ring was in rotation. */
         std::uint64_t rejected = 0;
+        /**
+         * Subset of `rejected` refused only because every in-rotation
+         * ring sat at max_in_flight_per_ring (admission control, not
+         * failure).
+         */
+        std::uint64_t cap_rejected = 0;
         std::uint64_t recoveries = 0;
         /** Recoveries initiated by the health plane (no explicit call). */
         std::uint64_t auto_recoveries = 0;
@@ -207,6 +232,7 @@ class ServicePool {
     host::SendStatus InjectOnRing(int ring_id, int ring_position, int thread,
                                   const rank::CompressedRequest& request,
                                   std::function<void(const ScoreResult&)> on_complete);
+    host::SendStatus RejectPick();
     int NextResponsivePosition(RingSlot& slot);
     void AutoRecover(int ring_id, int failed_ring_index, int attempt);
     void StartAutoRecovery(int ring_id, int position, const std::string& why);
@@ -228,6 +254,8 @@ class ServicePool {
     Config config_;
     QueryDispatcher dispatcher_;
     std::vector<RingSlot> rings_;
+    /** Bumped by ClearRecoveryBacklog to orphan stale recovery chains. */
+    std::uint64_t recovery_epoch_ = 0;
     std::vector<RingView> snapshot_;  ///< reused per dispatch (hot path)
     std::queue<std::function<void()>> deployment_queue_;
     bool deployment_in_flight_ = false;

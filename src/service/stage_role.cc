@@ -125,15 +125,26 @@ void StageRole::PumpHead() {
         command->payload = decision.model_id;
         ForwardToNext(std::move(command));
         const Time reload = service_->models().StageReloadTime(model, stage_);
-        simulator_->ScheduleAfter(reload, [this] {
-            busy_ = false;
-            PumpHead();
-        });
+        simulator_->ScheduleAfter(
+            reload, [this, guard = std::weak_ptr<char>(alive_)] {
+                if (guard.expired()) return;  // role rebuilt mid-reload
+                busy_ = false;
+                PumpHead();
+            });
         return;
       }
       case Kind::kDispatch: {
         auto it = head_pending_.find(decision.entry);
-        assert(it != head_pending_.end());
+        if (it == head_pending_.end()) {
+            // The Queue Manager outlives this role (it belongs to the
+            // service); an entry it dispatches after a redeploy may
+            // have been enqueued by our destroyed predecessor, whose
+            // head_pending_ packets died with it. Drop and keep
+            // draining — the document's host timeout handles the rest.
+            ++counters_.dropped_unknown;
+            PumpHead();
+            return;
+        }
         shell::PacketPtr packet = std::move(it->second);
         head_pending_.erase(it);
         // DRAM read back out of the model queue.
@@ -158,10 +169,12 @@ void StageRole::Pump() {
         model_loaded_ = true;
         busy_ = true;
         const Time reload = service_->models().StageReloadTime(model, stage_);
-        simulator_->ScheduleAfter(reload, [this] {
-            busy_ = false;
-            Pump();
-        });
+        simulator_->ScheduleAfter(
+            reload, [this, guard = std::weak_ptr<char>(alive_)] {
+                if (guard.expired()) return;  // role rebuilt mid-reload
+                busy_ = false;
+                Pump();
+            });
         return;
     }
     StartService(std::move(packet));
@@ -179,10 +192,15 @@ void StageRole::StartService(shell::PacketPtr packet) {
     }
     const Time service = service_->StageServiceTime(
         stage_, ctx->request, ctx->request.query.model_id);
-    simulator_->ScheduleAfter(service,
-                              [this, packet = std::move(packet)]() mutable {
-                                  FinishService(std::move(packet));
-                              });
+    simulator_->ScheduleAfter(
+        service, [this, guard = std::weak_ptr<char>(alive_),
+                  packet = std::move(packet)]() mutable {
+            // Role rebuilt mid-service (ring redeploy after a failure):
+            // the document's fate is the host timeout's to decide, not
+            // a dangling `this`.
+            if (guard.expired()) return;
+            FinishService(std::move(packet));
+        });
 }
 
 void StageRole::FinishService(shell::PacketPtr packet) {

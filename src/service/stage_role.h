@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 
 #include "rank/model.h"
@@ -81,6 +82,14 @@ class StageRole : public shell::Role {
     bool hung_ = false;
     std::uint32_t loaded_model_ = 0;
     bool model_loaded_ = false;
+    /**
+     * Liveness guard for simulator callbacks: a ring redeploy
+     * (RankingService::BuildRoles) destroys and rebuilds every role
+     * while documents may still be mid-service, so scheduled
+     * completions capture a weak_ptr to this token and no-op once the
+     * role is gone instead of dereferencing a dangling `this`.
+     */
+    std::shared_ptr<char> alive_ = std::make_shared<char>(0);
     Counters counters_;
 };
 

@@ -24,24 +24,40 @@ const ArchivedTrace* TraceArchive::Find(std::uint64_t trace_id) const {
 TraceReplayer::Report TraceReplayer::Replay(
     const std::vector<shell::FdrRecord>& fdr_window,
     const TraceArchive& archive, rank::RankingFunction& function) {
+    return ReplayFederation({fdr_window}, {&archive}, function);
+}
+
+TraceReplayer::Report TraceReplayer::ReplayFederation(
+    const std::vector<std::vector<shell::FdrRecord>>& fdr_windows,
+    const std::vector<const TraceArchive*>& archives,
+    rank::RankingFunction& function) {
     Report report;
-    std::set<std::uint64_t> seen;
-    for (const auto& record : fdr_window) {
-        if (record.type != shell::PacketType::kScoringRequest) continue;
-        if (record.trace_id == 0) continue;
-        if (!seen.insert(record.trace_id).second) continue;  // dedupe
-        ++report.requests_in_window;
-        const ArchivedTrace* trace = archive.Find(record.trace_id);
-        if (trace == nullptr) {
-            ++report.missing;
-            continue;
-        }
-        ++report.replayed;
-        const float replay_score = function.Score(trace->request);
-        if (!trace->scored || replay_score == trace->score) {
-            ++report.matched;
-        } else {
-            ++report.mismatched;
+    std::set<std::uint64_t> seen;  // dedupe across every window
+    for (const auto& window : fdr_windows) {
+        for (const auto& record : window) {
+            if (record.type != shell::PacketType::kScoringRequest) continue;
+            if (record.trace_id == 0) continue;
+            if (!seen.insert(record.trace_id).second) continue;
+            ++report.requests_in_window;
+            // Trace ids are pod-strided, so at most one archive holds
+            // any given id — first hit wins.
+            const ArchivedTrace* trace = nullptr;
+            for (const TraceArchive* archive : archives) {
+                if (archive == nullptr) continue;
+                trace = archive->Find(record.trace_id);
+                if (trace != nullptr) break;
+            }
+            if (trace == nullptr) {
+                ++report.missing;
+                continue;
+            }
+            ++report.replayed;
+            const float replay_score = function.Score(trace->request);
+            if (!trace->scored || replay_score == trace->score) {
+                ++report.matched;
+            } else {
+                ++report.mismatched;
+            }
         }
     }
     return report;

@@ -66,6 +66,22 @@ class TraceReplayer {
     static Report Replay(const std::vector<shell::FdrRecord>& fdr_window,
                          const TraceArchive& archive,
                          rank::RankingFunction& function);
+
+    /**
+     * Federation-wide replay (§3.6 at pod scale): FDR windows streamed
+     * from several pods, checked against several pod-level archives.
+     * Trace ids are federation-unique (pod- and ring-strided), so each
+     * record resolves to whichever pod's archive holds its document —
+     * in particular, a query that failed on one pod and was retried
+     * onto a survivor appears in the failed pod's window as `missing`
+     * (it never completed there) and in the survivor's window as a
+     * `replayed`/`matched` entry archived by the survivor. A trace id
+     * seen in several windows is replayed once.
+     */
+    static Report ReplayFederation(
+        const std::vector<std::vector<shell::FdrRecord>>& fdr_windows,
+        const std::vector<const TraceArchive*>& archives,
+        rank::RankingFunction& function);
 };
 
 }  // namespace catapult::service
