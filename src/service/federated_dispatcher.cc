@@ -342,6 +342,12 @@ int FederatedDispatcher::PickShedProbe(std::uint64_t tried) {
 host::SendStatus FederatedDispatcher::Inject(
     int thread, const rank::CompressedRequest& request,
     std::function<void(const ScoreResult&)> on_complete) {
+    return InjectPreferring(-1, thread, request, std::move(on_complete));
+}
+
+host::SendStatus FederatedDispatcher::InjectPreferring(
+    int preferred_pod, int thread, const rank::CompressedRequest& request,
+    std::function<void(const ScoreResult&)> on_complete) {
     // Walk distinct picks until one pod accepts. An immediate pod-level
     // reject (all rings mid-recovery, slot contention on the chosen
     // host) is not a pod failure — just try the next pod this instant.
@@ -351,29 +357,47 @@ host::SendStatus FederatedDispatcher::Inject(
     // allocation-free.
     std::shared_ptr<QueryContext> query;
     std::uint64_t tried = 0;
+    const auto materialize = [&] {
+        if (query) return;
+        query = std::make_shared<QueryContext>();
+        query->thread = thread;
+        query->request = request;
+        query->on_complete = std::move(on_complete);
+        query->accepted_at = simulator_->Now();
+        query->retries_left = config_.max_retries;
+    };
+    const auto note_accepted = [&](int pick) {
+        ++counters_.accepted;
+        // Attribution for the shed stats: this accepted query was
+        // routed around every pod currently shed (the numeric
+        // evidence benches assert instead of scraping logs). The
+        // scan is skipped outright in the healthy steady state.
+        if (shed_pod_count_ > 0) {
+            for (int i = 0; i < pod_count(); ++i) {
+                PodSlot& slot = pods_[static_cast<std::size_t>(i)];
+                if (slot.shed && i != pick) ++slot.stat_shed_queries;
+            }
+        }
+    };
+    if (preferred_pod >= 0 && preferred_pod < pod_count() &&
+        Eligible(pods_[static_cast<std::size_t>(preferred_pod)])) {
+        // The caller's placement preference (a scatter shard's assigned
+        // pod) beats the policy pick; a refusal falls through to the
+        // normal walk. No WRR credit moves here — the preference never
+        // went through PickPod, so there is nothing to refund.
+        materialize();
+        if (TryInject(preferred_pod, query) == host::SendStatus::kOk) {
+            note_accepted(preferred_pod);
+            return host::SendStatus::kOk;
+        }
+        tried |= std::uint64_t{1} << static_cast<unsigned>(preferred_pod);
+    }
     for (int attempts = 0; attempts < pod_count(); ++attempts) {
         const int pick = PickPod(request.query.model_id, tried);
         if (pick < 0) break;
-        if (!query) {
-            query = std::make_shared<QueryContext>();
-            query->thread = thread;
-            query->request = request;
-            query->on_complete = std::move(on_complete);
-            query->accepted_at = simulator_->Now();
-            query->retries_left = config_.max_retries;
-        }
+        materialize();
         if (TryInject(pick, query) == host::SendStatus::kOk) {
-            ++counters_.accepted;
-            // Attribution for the shed stats: this accepted query was
-            // routed around every pod currently shed (the numeric
-            // evidence benches assert instead of scraping logs). The
-            // scan is skipped outright in the healthy steady state.
-            if (shed_pod_count_ > 0) {
-                for (int i = 0; i < pod_count(); ++i) {
-                    PodSlot& slot = pods_[static_cast<std::size_t>(i)];
-                    if (slot.shed && i != pick) ++slot.stat_shed_queries;
-                }
-            }
+            note_accepted(pick);
             return host::SendStatus::kOk;
         }
         RefundFailedPick(pick);
@@ -381,6 +405,17 @@ host::SendStatus FederatedDispatcher::Inject(
     }
     ++counters_.rejected;
     return host::SendStatus::kTimeout;
+}
+
+std::vector<int> FederatedDispatcher::EligiblePods() const {
+    std::vector<int> eligible;
+    eligible.reserve(pods_.size());
+    for (int i = 0; i < pod_count(); ++i) {
+        if (Eligible(pods_[static_cast<std::size_t>(i)])) {
+            eligible.push_back(i);
+        }
+    }
+    return eligible;
 }
 
 host::SendStatus FederatedDispatcher::TryInject(
@@ -431,7 +466,11 @@ void FederatedDispatcher::OnPodResult(int pod_index,
                 slot.breaker_open_until = 0;
             }
         }
-        Deliver(std::move(query), result);
+        // Stamp the pod that actually served the document (failover
+        // included) so the scatter-gather tier can attribute answers.
+        ScoreResult stamped = result;
+        stamped.pod = pod_index;
+        Deliver(std::move(query), stamped);
         return;
     }
     RecordFailure(pod_index);

@@ -137,6 +137,25 @@ class FederatedDispatcher {
     host::SendStatus Inject(int thread, const rank::CompressedRequest& request,
                             std::function<void(const ScoreResult&)> on_complete);
 
+    /**
+     * Inject with a placement preference: try `preferred_pod` first
+     * (when it is a valid, eligible rotation index) and fall back to
+     * the normal policy walk when it refuses. The scatter-gather tier
+     * partitions a document set with this — the preference pins the
+     * shard's accounting, while failover and retry semantics stay
+     * exactly Inject's. `preferred_pod` < 0 is plain Inject.
+     */
+    host::SendStatus InjectPreferring(
+        int preferred_pod, int thread, const rank::CompressedRequest& request,
+        std::function<void(const ScoreResult&)> on_complete);
+
+    /**
+     * Rotation indices that would be considered for the next query
+     * (breaker closed, not shed, under cap, rings in rotation) — the
+     * scatter set a front end partitions a document set across.
+     */
+    std::vector<int> EligiblePods() const;
+
     int pod_count() const { return static_cast<int>(pods_.size()); }
     mgmt::PodContext& pod(int index) {
         return *pods_[static_cast<std::size_t>(index)].context;

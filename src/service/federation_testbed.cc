@@ -28,6 +28,11 @@ FederationTestbed::FederationTestbed(Config config)
                                                std::move(pod_config)));
         dispatcher_->AttachPod(pods_.back().get());
     }
+    SessionFrontEnd::Config fe_config = config_.front_end;
+    fe_config.driver_threads = config_.pod.driver_threads;
+    front_end_ = std::make_unique<SessionFrontEnd>(&simulator_,
+                                                   dispatcher_.get(),
+                                                   fe_config);
 }
 
 void FederationTestbed::ReattachPod(int index,

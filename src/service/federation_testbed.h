@@ -20,6 +20,7 @@
 
 #include "mgmt/pod_context.h"
 #include "service/federated_dispatcher.h"
+#include "service/session_front_end.h"
 #include "sim/simulator.h"
 
 namespace catapult::service {
@@ -37,6 +38,12 @@ class FederationTestbed {
          */
         mgmt::PodContext::Config pod;
         FederatedDispatcher::Config dispatcher;
+        /**
+         * Session front end fronting the dispatcher. `driver_threads`
+         * is overwritten from the pod template so session connection
+         * pools always index real slot-driver threads.
+         */
+        SessionFrontEnd::Config front_end;
     };
 
     explicit FederationTestbed(Config config);
@@ -66,12 +73,15 @@ class FederationTestbed {
         return *pods_[static_cast<std::size_t>(index)];
     }
     FederatedDispatcher& dispatcher() { return *dispatcher_; }
+    /** The session-oriented scatter-gather door over the dispatcher. */
+    SessionFrontEnd& front_end() { return *front_end_; }
 
   private:
     Config config_;
     sim::Simulator simulator_;
     std::vector<std::unique_ptr<mgmt::PodContext>> pods_;
     std::unique_ptr<FederatedDispatcher> dispatcher_;
+    std::unique_ptr<SessionFrontEnd> front_end_;
 };
 
 }  // namespace catapult::service

@@ -46,6 +46,13 @@ struct ScoreResult {
     float score = 0.0f;
     Time latency = 0;          ///< Injection to response at user level.
     std::uint64_t trace_id = 0;
+    /**
+     * Pod that served the document — stamped by the FederatedDispatcher
+     * with the pod that finally answered (failover included), so the
+     * scatter-gather tier can build per-pod result lists. -1 for
+     * completions below the federation (direct ring/pool injection).
+     */
+    int pod = -1;
 };
 
 /**

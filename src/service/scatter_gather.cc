@@ -1,0 +1,278 @@
+#include "service/scatter_gather.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+#include "common/log.h"
+
+namespace catapult::service {
+
+std::vector<RankedDoc> ResultMerger::Merge(
+    std::vector<std::vector<RankedDoc>> per_pod, std::size_t k) {
+    // Canonical per-source order: score descending, doc id ascending.
+    // Sources arrive in completion order (gather callbacks), so the
+    // merger owns the canonicalization rather than trusting callers.
+    for (auto& list : per_pod) {
+        std::sort(list.begin(), list.end(),
+                  [](const RankedDoc& a, const RankedDoc& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.doc_id < b.doc_id;
+                  });
+    }
+    std::size_t total = 0;
+    for (const auto& list : per_pod) total += list.size();
+    std::vector<RankedDoc> out;
+    out.reserve(std::min(k, total));
+    std::vector<std::size_t> cursor(per_pod.size(), 0);
+    std::vector<std::size_t> tied;  // reused per score run
+    while (out.size() < k) {
+        // The highest score still unmerged across every source.
+        bool any = false;
+        float best = 0.0f;
+        for (std::size_t p = 0; p < per_pod.size(); ++p) {
+            if (cursor[p] >= per_pod[p].size()) continue;
+            const float s = per_pod[p][cursor[p]].score;
+            if (!any || s > best) {
+                best = s;
+                any = true;
+            }
+        }
+        if (!any) break;
+        // Sources tied at `best`, ascending (pod id, source index) —
+        // the deterministic starting order of the round-robin.
+        tied.clear();
+        for (std::size_t p = 0; p < per_pod.size(); ++p) {
+            if (cursor[p] < per_pod[p].size() &&
+                per_pod[p][cursor[p]].score == best) {
+                tied.push_back(p);
+            }
+        }
+        std::sort(tied.begin(), tied.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      const int pa = per_pod[a][cursor[a]].pod;
+                      const int pb = per_pod[b][cursor[b]].pod;
+                      if (pa != pb) return pa < pb;
+                      return a < b;
+                  });
+        // Round-robin interleave: one doc per tied source per round; a
+        // source leaves the cycle when its next doc scores differently
+        // (each source's docs within the run stay doc-id ascending by
+        // the canonical sort above).
+        while (!tied.empty() && out.size() < k) {
+            for (std::size_t j = 0; j < tied.size() && out.size() < k;) {
+                const std::size_t p = tied[j];
+                out.push_back(per_pod[p][cursor[p]++]);
+                if (cursor[p] >= per_pod[p].size() ||
+                    per_pod[p][cursor[p]].score != best) {
+                    tied.erase(tied.begin() +
+                               static_cast<std::ptrdiff_t>(j));
+                } else {
+                    ++j;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+ScatterGatherDispatcher::ScatterGatherDispatcher(
+    sim::Simulator* simulator, FederatedDispatcher* dispatcher, Config config)
+    : simulator_(simulator), dispatcher_(dispatcher), config_(config) {
+    assert(simulator_ != nullptr);
+    assert(dispatcher_ != nullptr);
+    assert(config_.max_reject_retries >= 0);
+}
+
+std::uint64_t ScatterGatherDispatcher::Submit(
+    const rank::Query& query, std::vector<rank::CompressedRequest> docs,
+    std::size_t top_k, Time budget,
+    std::function<void(const GatherResult&)> on_complete,
+    const std::vector<int>* connection_pool,
+    std::function<void()> on_straggler) {
+    ++counters_.submitted;
+    auto gather = std::make_shared<Gather>();
+    gather->id = ++next_gather_id_;
+    gather->top_k = top_k;
+    gather->submitted_at = simulator_->Now();
+    gather->docs = std::move(docs);
+    gather->on_complete = std::move(on_complete);
+    gather->on_straggler = std::move(on_straggler);
+
+    const std::size_t n = gather->docs.size();
+    const int pod_count = dispatcher_->pod_count();
+    gather->per_pod.resize(static_cast<std::size_t>(pod_count));
+    gather->shards.resize(static_cast<std::size_t>(pod_count));
+    for (int p = 0; p < pod_count; ++p) {
+        gather->shards[static_cast<std::size_t>(p)].pod = p;
+    }
+    gather->doc_state.assign(n, DocState::kPending);
+    gather->doc_assigned.assign(n, -1);
+    gather->doc_thread.assign(n, 0);
+
+    // Partition across the pods eligible *now*: a shed, latched-out or
+    // capped pod gets no shard. The assignment is only a preference —
+    // the federated dispatcher falls back to its normal policy (and
+    // its failover machinery) when the target refuses or dies — but
+    // the per-pod `assigned` accounting pins who was supposed to
+    // answer, which is what the partial result reports as missing.
+    const std::vector<int> eligible = dispatcher_->EligiblePods();
+    for (std::size_t i = 0; i < n; ++i) {
+        gather->docs[i].query = query;
+        if (!eligible.empty()) {
+            const int target = eligible[i % eligible.size()];
+            gather->doc_assigned[i] = target;
+            ++gather->shards[static_cast<std::size_t>(target)].assigned;
+        }
+        gather->doc_thread[i] =
+            connection_pool != nullptr && !connection_pool->empty()
+                ? (*connection_pool)[i % connection_pool->size()]
+                : static_cast<int>(i) %
+                      std::max(1, config_.default_threads);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        InjectShard(gather, i, config_.max_reject_retries);
+    }
+
+    if (gather->delivered) return gather->id;
+    if (AllResolved(*gather)) {
+        // Everything refused up front (or the set was empty): deliver
+        // asynchronously so the caller always sees the gather id before
+        // its completion.
+        simulator_->ScheduleAfter(0, [this, gather] {
+            if (!gather->delivered) DeliverGather(gather);
+        });
+        return gather->id;
+    }
+    if (budget > 0) {
+        // kTimeout priority: shards completing at exactly the budget
+        // instant merge first — a gather whose last pod answers exactly
+        // at the deadline is complete, not partial.
+        gather->deadline_event = simulator_->ScheduleAt(
+            gather->submitted_at + budget,
+            [this, gather] {
+                if (!gather->delivered) DeliverGather(gather);
+            },
+            sim::EventPriority::kTimeout);
+    }
+    return gather->id;
+}
+
+void ScatterGatherDispatcher::InjectShard(
+    const std::shared_ptr<Gather>& gather, std::size_t index,
+    int retries_left) {
+    const int target = gather->doc_assigned[index];
+    const auto status = dispatcher_->InjectPreferring(
+        target, gather->doc_thread[index], gather->docs[index],
+        [this, gather, index](const ScoreResult& result) {
+            OnShardResult(gather, index, result);
+        });
+    if (status == host::SendStatus::kOk) {
+        gather->doc_state[index] = DocState::kInFlight;
+        ++gather->accepted;
+        ++counters_.docs_scattered;
+        return;
+    }
+    if (retries_left > 0) {
+        // Transient refusals (slot contention, a momentary cap) clear
+        // in microseconds; burn a bounded retry instead of reporting a
+        // hole in the result. The retry dies quietly if the gather was
+        // delivered meanwhile — the deadline already counted this
+        // shard missing, and scattering it late would only manufacture
+        // a straggler.
+        simulator_->ScheduleAfter(
+            config_.reject_retry_backoff,
+            [this, gather, index, retries_left] {
+                if (gather->delivered) return;
+                InjectShard(gather, index, retries_left - 1);
+            });
+        return;
+    }
+    gather->doc_state[index] = DocState::kRejected;
+    ++gather->rejected;
+    ++counters_.docs_rejected;
+    if (AllResolved(*gather) && !gather->delivered) DeliverGather(gather);
+}
+
+void ScatterGatherDispatcher::OnShardResult(
+    const std::shared_ptr<Gather>& gather, std::size_t index,
+    const ScoreResult& result) {
+    if (gather->delivered) {
+        // Straggler: the deadline already spoke for this shard. It is
+        // accounted — here and to the gather's hook — but its score is
+        // dropped, the callback has already fired, and nothing leaks
+        // (this completion releases the shard's hold on the gather).
+        ++counters_.stragglers;
+        if (gather->on_straggler) gather->on_straggler();
+        return;
+    }
+    if (result.ok) {
+        gather->doc_state[index] = DocState::kAnswered;
+        ++gather->answered;
+        ++counters_.docs_answered;
+        // Attribution follows the pod that finally answered (failover
+        // included); fall back to the assignee if the result predates
+        // pod stamping (a pool-level completion path).
+        int pod = result.pod;
+        if (pod < 0 || pod >= static_cast<int>(gather->per_pod.size())) {
+            pod = gather->doc_assigned[index];
+        }
+        if (pod >= 0 && pod < static_cast<int>(gather->per_pod.size())) {
+            gather->per_pod[static_cast<std::size_t>(pod)].push_back(
+                RankedDoc{gather->docs[index].doc_id, result.score, pod});
+            ++gather->shards[static_cast<std::size_t>(pod)].answered;
+        }
+    } else {
+        gather->doc_state[index] = DocState::kFailed;
+        ++gather->failed;
+        ++counters_.docs_failed;
+    }
+    if (AllResolved(*gather)) DeliverGather(gather);
+}
+
+void ScatterGatherDispatcher::DeliverGather(
+    const std::shared_ptr<Gather>& gather) {
+    gather->delivered = true;
+    if (gather->deadline_event.valid()) {
+        simulator_->Cancel(gather->deadline_event);
+    }
+    GatherResult result;
+    result.gather_id = gather->id;
+    result.doc_count = gather->docs.size();
+    result.accepted = gather->accepted;
+    result.rejected = gather->rejected;
+    result.answered = gather->answered;
+    result.partial = gather->answered < gather->docs.size();
+    // Missing attribution: every assigned shard that produced no merged
+    // score — still outstanding at the deadline, failed, or rejected —
+    // is charged to the pod it was assigned to. Sum(answered) +
+    // Sum(missing) covers every assigned shard exactly once even when
+    // failover moved a shard between pods.
+    for (std::size_t i = 0; i < gather->docs.size(); ++i) {
+        if (gather->doc_state[i] == DocState::kAnswered) continue;
+        const int assigned = gather->doc_assigned[i];
+        if (assigned >= 0) {
+            ++gather->shards[static_cast<std::size_t>(assigned)].missing;
+        }
+    }
+    result.pods = gather->shards;
+    // The merge itself is front-door host code, measured in wall time:
+    // bench_scatter_gather gates it against the end-to-end p50 the
+    // federation spends producing the scores being merged.
+    const auto merge_start = std::chrono::steady_clock::now();
+    result.top = ResultMerger::Merge(std::move(gather->per_pod), gather->top_k);
+    const auto merge_end = std::chrono::steady_clock::now();
+    counters_.merge_wall_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(merge_end -
+                                                             merge_start)
+            .count());
+    ++counters_.merges;
+    result.latency = simulator_->Now() - gather->submitted_at;
+    ++counters_.delivered;
+    if (result.partial) ++counters_.partial;
+    if (gather->on_complete) gather->on_complete(result);
+}
+
+}  // namespace catapult::service
