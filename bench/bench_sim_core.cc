@@ -1,0 +1,198 @@
+// Simulator-core microbenchmark: raw event-queue throughput.
+//
+// The table/figure benches measure whole-pipeline wall time, where the
+// kernel is one cost among many. This harness isolates the event queue
+// itself: schedule/cancel/pop mixes at different pending-set densities
+// and horizon spreads, on both queue implementations (the production
+// timing wheel and the reference binary heap), with both inline-stored
+// and heap-boxed callables. Events/second per scenario is the figure of
+// merit the PR-over-PR baselines track.
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/simulator.h"
+
+namespace catapult {
+namespace {
+
+using sim::EventHandle;
+using sim::Simulator;
+using sim::SimulatorConfig;
+
+struct Lcg {
+    std::uint64_t state = 0x853C49E6748FEA9Bull;
+    std::uint64_t Next() {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state >> 33;
+    }
+};
+
+/** Delay spreads: how far ahead of now_ new events land. */
+enum class Spread { kNear, kMid, kFar, kMixed };
+
+const char* ToString(Spread spread) {
+    switch (spread) {
+      case Spread::kNear: return "near(ns)";
+      case Spread::kMid: return "mid(us)";
+      case Spread::kFar: return "far(ms)";
+      case Spread::kMixed: return "mixed";
+    }
+    return "?";
+}
+
+Time DrawDelay(Spread spread, Lcg& rng) {
+    switch (spread) {
+      case Spread::kNear:
+        return Nanoseconds(static_cast<Time>(rng.Next() % 500));
+      case Spread::kMid:
+        return Microseconds(static_cast<Time>(rng.Next() % 100));
+      case Spread::kFar:
+        return Milliseconds(static_cast<Time>(rng.Next() % 200));
+      case Spread::kMixed:
+        switch (rng.Next() % 3) {
+          case 0: return Nanoseconds(static_cast<Time>(rng.Next() % 500));
+          case 1: return Microseconds(static_cast<Time>(rng.Next() % 100));
+          default: return Milliseconds(static_cast<Time>(rng.Next() % 200));
+        }
+    }
+    return 0;
+}
+
+struct Scenario {
+    SimulatorConfig::QueueKind kind;
+    Spread spread;
+    int pending;          ///< Steady-state pending-event density.
+    int cancel_percent;   ///< Share of scheduled events cancelled early.
+    bool boxed_callable;  ///< Pad captures past the SBO budget.
+};
+
+struct Outcome {
+    std::uint64_t events = 0;
+    double wall_ms = 0.0;
+    double events_per_sec = 0.0;
+};
+
+/**
+ * Self-sustaining churn: each fired event reschedules itself, keeping
+ * `pending` events in flight; a slice of schedules is cancelled and
+ * immediately replaced (the timeout-path pattern). Runs until
+ * `target_fired` events have fired.
+ */
+Outcome RunScenario(const Scenario& scenario, std::uint64_t target_fired) {
+    SimulatorConfig config;
+    config.queue_kind = scenario.kind;
+    Simulator sim(config);
+    Lcg rng;
+    std::uint64_t fired = 0;
+
+    // Oversized ballast forces the heap-boxed callable path.
+    struct Ballast {
+        std::array<std::uint64_t, 12> pad{};
+    };
+
+    std::function<void()> pump = [&] {
+        ++fired;
+        Time delay = DrawDelay(scenario.spread, rng);
+        if (static_cast<int>(rng.Next() % 100) < scenario.cancel_percent) {
+            // Schedule-then-cancel: the cancelled event still costs a
+            // slot acquire + lazy skip, the mix the timeout paths make.
+            EventHandle doomed = sim.ScheduleAfter(delay, [] {});
+            sim.Cancel(doomed);
+            delay = DrawDelay(scenario.spread, rng);
+        }
+        if (scenario.boxed_callable) {
+            Ballast ballast;
+            ballast.pad[11] = rng.Next();
+            sim.ScheduleAfter(delay, [&pump, ballast] {
+                (void)ballast.pad[11];
+                pump();
+            });
+        } else {
+            sim.ScheduleAfter(delay, [&pump] { pump(); });
+        }
+    };
+
+    for (int i = 0; i < scenario.pending; ++i) {
+        sim.ScheduleAfter(DrawDelay(scenario.spread, rng),
+                          [&pump] { pump(); });
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    while (fired < target_fired && sim.Step()) {
+    }
+    const auto end = std::chrono::steady_clock::now();
+
+    Outcome out;
+    out.events = fired;
+    out.wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    out.events_per_sec =
+        out.wall_ms > 0.0 ? static_cast<double>(fired) / (out.wall_ms / 1e3)
+                          : 0.0;
+    return out;
+}
+
+const char* KindName(SimulatorConfig::QueueKind kind) {
+    return kind == SimulatorConfig::QueueKind::kTimingWheel ? "wheel"
+                                                            : "heap";
+}
+
+}  // namespace
+}  // namespace catapult
+
+int main() {
+    using namespace catapult;
+    bench::Banner(
+        "Simulator core: event-queue schedule/cancel/pop throughput",
+        "kernel for all of Putnam et al., ISCA 2014 reproductions");
+
+    constexpr std::uint64_t kTarget = 400'000;
+
+    std::printf("\nDensity x spread sweep (%llu events each, 10%% cancel)\n",
+                static_cast<unsigned long long>(kTarget));
+    bench::Row({"queue", "spread", "pending", "wall_ms", "events_per_s"});
+    for (const auto kind : {SimulatorConfig::QueueKind::kTimingWheel,
+                            SimulatorConfig::QueueKind::kBinaryHeap}) {
+        for (const auto spread :
+             {Spread::kNear, Spread::kMid, Spread::kFar, Spread::kMixed}) {
+            for (const int pending : {16, 256, 4096}) {
+                Scenario scenario{kind, spread, pending, 10, false};
+                const Outcome out = RunScenario(scenario, kTarget);
+                bench::Row({KindName(kind), ToString(spread),
+                            bench::FmtInt(pending), bench::Fmt(out.wall_ms, 1),
+                            bench::FmtInt(
+                                static_cast<long long>(out.events_per_sec))});
+            }
+        }
+    }
+
+    std::printf("\nCancellation-heavy mix (wheel, mixed spread, 256 pending)\n");
+    bench::Row({"cancel_pct", "wall_ms", "events_per_s"});
+    for (const int cancel : {0, 30, 70}) {
+        Scenario scenario{SimulatorConfig::QueueKind::kTimingWheel,
+                          Spread::kMixed, 256, cancel, false};
+        const Outcome out = RunScenario(scenario, kTarget);
+        bench::Row({bench::FmtInt(cancel), bench::Fmt(out.wall_ms, 1),
+                    bench::FmtInt(
+                        static_cast<long long>(out.events_per_sec))});
+    }
+
+    std::printf("\nCallable storage (wheel, mixed spread, 256 pending)\n");
+    bench::Row({"callable", "wall_ms", "events_per_s"});
+    for (const bool boxed : {false, true}) {
+        Scenario scenario{SimulatorConfig::QueueKind::kTimingWheel,
+                          Spread::kMixed, 256, 10, boxed};
+        const Outcome out = RunScenario(scenario, kTarget);
+        bench::Row({boxed ? "heap-boxed" : "inline-sbo",
+                    bench::Fmt(out.wall_ms, 1),
+                    bench::FmtInt(
+                        static_cast<long long>(out.events_per_sec))});
+    }
+    return 0;
+}

@@ -11,8 +11,25 @@
 #include <vector>
 
 #include "service/testbed.h"
+#include "sim/simulator.h"
 
 namespace catapult::bench {
+
+/**
+ * Prints the process-wide simulator event count at exit in a
+ * machine-readable form. bench/run_all scrapes the line and records
+ * events_fired / events_per_sec per bench, the simulator-core speed
+ * metric the wall-clock totals alone can't isolate. One instance per
+ * bench binary via this header; no per-bench wiring needed.
+ */
+struct EventsFiredReporter {
+    ~EventsFiredReporter() {
+        std::printf("[events_fired] %llu\n",
+                    static_cast<unsigned long long>(sim::GlobalEventsFired()));
+        std::fflush(stdout);
+    }
+};
+inline EventsFiredReporter g_events_fired_reporter;
 
 /** Print a header banner naming the experiment. */
 inline void Banner(const std::string& title, const std::string& paper_ref) {

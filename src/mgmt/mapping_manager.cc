@@ -37,6 +37,7 @@ void MappingManager::Deploy(const ServiceSpec& spec,
     for (const auto& role : spec_.roles) {
         role_to_node_[role.role_name] = role.node;
     }
+    RebuildNodeIndex();
     LOG_INFO("mapping_manager") << "deploying " << spec_.service_name
                                 << " across " << spec_.roles.size()
                                 << " nodes";
@@ -138,10 +139,19 @@ int MappingManager::NodeOfRole(const std::string& role_name) const {
 }
 
 std::string MappingManager::RoleAtNode(int node) const {
+    if (node < 0 || node >= static_cast<int>(node_to_role_.size())) return {};
+    return node_to_role_[static_cast<std::size_t>(node)];
+}
+
+void MappingManager::RebuildNodeIndex() {
+    node_to_role_.clear();
     for (const auto& [role, n] : role_to_node_) {
-        if (n == node) return role;
+        if (n < 0) continue;
+        if (n >= static_cast<int>(node_to_role_.size())) {
+            node_to_role_.resize(static_cast<std::size_t>(n) + 1);
+        }
+        node_to_role_[static_cast<std::size_t>(n)] = role;
     }
-    return {};
 }
 
 }  // namespace catapult::mgmt

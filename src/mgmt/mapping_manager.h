@@ -77,7 +77,11 @@ class MappingManager {
      */
     int NodeOfRole(const std::string& role_name) const;
 
-    /** Role currently mapped to `node`, or empty. */
+    /**
+     * Role currently mapped to `node`, or empty. Served from a
+     * node-indexed reverse map (the health plane asks per fault
+     * report, which is far hotter than the deploys that change it).
+     */
     std::string RoleAtNode(int node) const;
 
     /** The most recently deployed spec (empty before Deploy). */
@@ -93,6 +97,8 @@ class MappingManager {
   private:
     void ConfigureAll(std::function<void(bool)> on_done);
     void ReleaseAllRxHalts();
+    /** Recompute node_to_role_ from role_to_node_ (deploy-time only). */
+    void RebuildNodeIndex();
 
     sim::Simulator* simulator_;
     fabric::CatapultFabric* fabric_;
@@ -100,6 +106,7 @@ class MappingManager {
     Config config_;
     ServiceSpec spec_;
     std::map<std::string, int> role_to_node_;
+    std::vector<std::string> node_to_role_;  ///< Indexed by node.
     Counters counters_;
 };
 

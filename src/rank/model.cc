@@ -2,8 +2,73 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
+#include <tuple>
 
 namespace catapult::rank {
+
+namespace {
+
+/**
+ * FNV-1a over every generation-relevant config field. Two configs with
+ * the same fingerprint synthesize bit-identical models for a given
+ * (model_id, seed), which is what makes cross-store sharing safe.
+ */
+std::uint64_t ConfigFingerprint(const Model::Config& config) {
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    const auto mix_double = [&](double v) {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        mix(bits);
+    };
+    mix(static_cast<std::uint64_t>(config.expression_count));
+    mix(static_cast<std::uint64_t>(config.tree_count));
+    mix(static_cast<std::uint64_t>(config.tree_depth));
+    const auto& e = config.expressions;
+    mix_double(e.small_probability);
+    mix(static_cast<std::uint64_t>(e.small_min_ops));
+    mix(static_cast<std::uint64_t>(e.small_max_ops));
+    mix_double(e.tail_mean_ops);
+    mix_double(e.tail_sigma);
+    mix(static_cast<std::uint64_t>(e.max_ops));
+    mix_double(e.complex_probability);
+    mix_double(e.select_probability);
+    const auto& c = config.compiler;
+    mix(static_cast<std::uint64_t>(c.latencies.simple));
+    mix(static_cast<std::uint64_t>(c.latencies.load));
+    mix(static_cast<std::uint64_t>(c.latencies.fpdiv));
+    mix(static_cast<std::uint64_t>(c.latencies.ln));
+    mix(static_cast<std::uint64_t>(c.latencies.exp));
+    mix(static_cast<std::uint64_t>(c.latencies.float_to_int));
+    mix(static_cast<std::uint64_t>(c.split_threshold_ops));
+    mix(static_cast<std::uint64_t>(c.split_chunk_ops));
+    return h;
+}
+
+using CacheKey = std::tuple<std::uint64_t, std::uint32_t, std::uint64_t>;
+
+std::shared_ptr<const Model> CachedGenerate(std::uint32_t model_id,
+                                            std::uint64_t seed,
+                                            const Model::Config& config) {
+    static std::mutex mutex;
+    static std::map<CacheKey, std::shared_ptr<const Model>>* cache =
+        new std::map<CacheKey, std::shared_ptr<const Model>>;
+    const CacheKey key{ConfigFingerprint(config), model_id, seed};
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache->find(key);
+    if (it == cache->end()) {
+        it = cache->emplace(key, Model::Generate(model_id, seed, config))
+                 .first;
+    }
+    return it->second;
+}
+
+}  // namespace
 
 const char* ToString(PipelineStage stage) {
     switch (stage) {
@@ -136,7 +201,7 @@ const Model& ModelStore::GetOrGenerate(std::uint32_t model_id,
     auto it = models_.find(model_id);
     if (it == models_.end()) {
         it = models_.emplace(model_id,
-                             Model::Generate(model_id, seed, config_.model))
+                             CachedGenerate(model_id, seed, config_.model))
                  .first;
     }
     return *it->second;

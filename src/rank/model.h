@@ -118,7 +118,14 @@ class ModelStore {
     ModelStore() : ModelStore(Config()) {}
     explicit ModelStore(Config config) : config_(config) {}
 
-    /** Create (or return) the model for `model_id`. */
+    /**
+     * Create (or return) the model for `model_id`. Generation is
+     * deterministic in (model_id, seed, config) and the result is
+     * immutable, so stores share generated models through a
+     * process-wide cache: the multi-pod testbeds deploy dozens of
+     * rings whose stores would otherwise each regenerate and recompile
+     * identical models — the dominant deploy-time cost.
+     */
     const Model& GetOrGenerate(std::uint32_t model_id, std::uint64_t seed);
 
     const Model* Find(std::uint32_t model_id) const;
@@ -141,7 +148,7 @@ class ModelStore {
 
   private:
     Config config_;
-    std::map<std::uint32_t, std::unique_ptr<Model>> models_;
+    std::map<std::uint32_t, std::shared_ptr<const Model>> models_;
 };
 
 }  // namespace catapult::rank

@@ -1,9 +1,40 @@
 #include "rank/queue_manager.h"
 
+#include <algorithm>
+
 namespace catapult::rank {
 
+std::size_t QueueManager::UpperBound(std::uint32_t model_id) const {
+    const auto it = std::upper_bound(
+        queues_.begin(), queues_.end(), model_id,
+        [](std::uint32_t id, const ModelQueue& q) { return id < q.model_id; });
+    return static_cast<std::size_t>(it - queues_.begin());
+}
+
+std::size_t QueueManager::FindQueue(std::uint32_t model_id) const {
+    const auto it = std::lower_bound(
+        queues_.begin(), queues_.end(), model_id,
+        [](const ModelQueue& q, std::uint32_t id) { return q.model_id < id; });
+    if (it != queues_.end() && it->model_id == model_id) {
+        return static_cast<std::size_t>(it - queues_.begin());
+    }
+    return queues_.size();
+}
+
 void QueueManager::Enqueue(std::uint32_t model_id, EntryId entry, Time now) {
-    queues_[model_id].push_back(entry);
+    std::size_t at = FindQueue(model_id);
+    if (at == queues_.size()) {
+        // First request ever for this model: splice its queue in at the
+        // sorted position. Happens once per model per ring lifetime.
+        const std::size_t insert_at = UpperBound(model_id);
+        ModelQueue q;
+        q.model_id = model_id;
+        queues_.insert(queues_.begin() +
+                           static_cast<std::ptrdiff_t>(insert_at),
+                       std::move(q));
+        at = insert_at;
+    }
+    queues_[at].entries.push_back(entry);
     ++total_queued_;
     ++counters_.enqueued;
     if (!has_model_) {
@@ -16,14 +47,14 @@ void QueueManager::Enqueue(std::uint32_t model_id, EntryId entry, Time now) {
 bool QueueManager::PickNextModel(std::uint32_t& model_id) const {
     // Round-robin over model ids strictly after the current one, wrapping.
     if (queues_.empty()) return false;
-    auto it = has_model_ ? queues_.upper_bound(current_model_) : queues_.begin();
+    std::size_t at = has_model_ ? UpperBound(current_model_) : 0;
     for (std::size_t scanned = 0; scanned < queues_.size() + 1; ++scanned) {
-        if (it == queues_.end()) it = queues_.begin();
-        if (!it->second.empty()) {
-            model_id = it->first;
+        if (at == queues_.size()) at = 0;
+        if (!queues_[at].entries.empty()) {
+            model_id = queues_[at].model_id;
             return true;
         }
-        ++it;
+        ++at;
     }
     return false;
 }
@@ -38,15 +69,16 @@ QueueManager::DispatchDecision QueueManager::Next(Time now) {
         has_model_ && (now - current_since_) >= config_.queue_timeout &&
         TotalQueued() > QueuedFor(current_model_);
 
-    auto current = queues_.find(current_model_);
-    const bool current_has_work = has_model_ && current != queues_.end() &&
-                                  !current->second.empty();
+    const std::size_t current =
+        has_model_ ? FindQueue(current_model_) : queues_.size();
+    const bool current_has_work =
+        current != queues_.size() && !queues_[current].entries.empty();
 
     if (current_has_work && !timed_out) {
         decision.kind = DispatchDecision::Kind::kDispatch;
-        decision.entry = current->second.front();
+        decision.entry = queues_[current].entries.front();
         decision.model_id = current_model_;
-        current->second.pop_front();
+        queues_[current].entries.pop_front();
         --total_queued_;
         ++counters_.dispatched;
         return decision;
@@ -58,9 +90,9 @@ QueueManager::DispatchDecision QueueManager::Next(Time now) {
     if (has_model_ && next_model == current_model_ && current_has_work) {
         // Only this queue has work; timeout is moot, keep draining.
         decision.kind = DispatchDecision::Kind::kDispatch;
-        decision.entry = current->second.front();
+        decision.entry = queues_[current].entries.front();
         decision.model_id = current_model_;
-        current->second.pop_front();
+        queues_[current].entries.pop_front();
         --total_queued_;
         ++counters_.dispatched;
         current_since_ = now;
@@ -85,8 +117,8 @@ void QueueManager::Reset() {
 }
 
 std::size_t QueueManager::QueuedFor(std::uint32_t model_id) const {
-    const auto it = queues_.find(model_id);
-    return it == queues_.end() ? 0 : it->second.size();
+    const std::size_t at = FindQueue(model_id);
+    return at == queues_.size() ? 0 : queues_[at].entries.size();
 }
 
 }  // namespace catapult::rank

@@ -18,8 +18,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
-#include <map>
 #include <vector>
 
 #include "common/units.h"
@@ -86,11 +84,28 @@ class QueueManager {
     const Counters& counters() const { return counters_; }
 
   private:
+    /**
+     * One per-model DRAM queue. The set of models a head role ever
+     * sees is tiny (a handful), so the queues live in a flat vector
+     * kept sorted by model id — Next()'s find and the round-robin
+     * scan walk contiguous memory instead of chasing red-black-tree
+     * nodes on every dispatch. Sorted order matches the std::map this
+     * replaces, so rotation decisions are unchanged.
+     */
+    struct ModelQueue {
+        std::uint32_t model_id = 0;
+        std::deque<EntryId> entries;
+    };
+
     /** Pick the next non-empty queue after `current_model_` (RR). */
     bool PickNextModel(std::uint32_t& model_id) const;
+    /** Index of the queue for `model_id`, or queues_.size(). */
+    std::size_t FindQueue(std::uint32_t model_id) const;
+    /** Index of the first queue with id > `model_id` (may be size()). */
+    std::size_t UpperBound(std::uint32_t model_id) const;
 
     Config config_;
-    std::map<std::uint32_t, std::deque<EntryId>> queues_;
+    std::vector<ModelQueue> queues_;  ///< Sorted by model_id.
     std::uint32_t current_model_ = 0;
     bool has_model_ = false;
     Time current_since_ = 0;

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/log.h"
+#include "common/object_pool.h"
 
 namespace catapult::service {
 
@@ -359,7 +360,7 @@ host::SendStatus FederatedDispatcher::InjectPreferring(
     std::uint64_t tried = 0;
     const auto materialize = [&] {
         if (query) return;
-        query = std::make_shared<QueryContext>();
+        query = MakePooled<QueryContext>();
         query->thread = thread;
         query->request = request;
         query->on_complete = std::move(on_complete);

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "common/object_pool.h"
 
 namespace catapult::service {
 
@@ -92,7 +93,7 @@ std::uint64_t ScatterGatherDispatcher::Submit(
     const std::vector<int>* connection_pool,
     std::function<void()> on_straggler) {
     ++counters_.submitted;
-    auto gather = std::make_shared<Gather>();
+    auto gather = MakePooled<Gather>();
     gather->id = ++next_gather_id_;
     gather->top_k = top_k;
     gather->submitted_at = simulator_->Now();

@@ -3,20 +3,25 @@
 namespace catapult::shell {
 
 void RoutingTable::SetRoute(NodeId destination, Port out_port) {
-    routes_[destination] = out_port;
+    if (destination >= routes_.size()) {
+        routes_.resize(static_cast<std::size_t>(destination) + 1);
+    }
+    Entry& entry = routes_[destination];
+    if (!entry.valid) ++route_count_;
+    entry.port = out_port;
+    entry.valid = true;
 }
 
 void RoutingTable::ClearRoute(NodeId destination) {
-    routes_.erase(destination);
+    if (destination >= routes_.size()) return;
+    Entry& entry = routes_[destination];
+    if (entry.valid) --route_count_;
+    entry.valid = false;
 }
 
-void RoutingTable::Clear() { routes_.clear(); }
-
-bool RoutingTable::Lookup(NodeId destination, Port& out_port) const {
-    const auto it = routes_.find(destination);
-    if (it == routes_.end()) return false;
-    out_port = it->second;
-    return true;
+void RoutingTable::Clear() {
+    routes_.clear();
+    route_count_ = 0;
 }
 
 }  // namespace catapult::shell

@@ -4,10 +4,15 @@
 // routing table that supports different routing policies." The Mapping
 // Manager computes a table per shell (dimension-order for the torus,
 // or explicit next-hops for ring pipelines) and installs it here.
+//
+// Node ids are small dense integers assigned by the fabric, and Lookup
+// runs once per packet per hop — the single hottest map access in the
+// router. The table is therefore a flat node-indexed array (one load,
+// no hashing) rather than a hash map.
 
 #pragma once
 
-#include <unordered_map>
+#include <vector>
 
 #include "shell/packet.h"
 
@@ -30,12 +35,24 @@ class RoutingTable {
      * caller before consulting the table. Returns false when no route
      * exists (packet is dropped; §3.2 transport never retransmits).
      */
-    bool Lookup(NodeId destination, Port& out_port) const;
+    bool Lookup(NodeId destination, Port& out_port) const {
+        if (destination >= routes_.size()) return false;
+        const Entry entry = routes_[destination];
+        if (!entry.valid) return false;
+        out_port = entry.port;
+        return true;
+    }
 
-    std::size_t size() const { return routes_.size(); }
+    std::size_t size() const { return route_count_; }
 
   private:
-    std::unordered_map<NodeId, Port> routes_;
+    struct Entry {
+        Port port;
+        bool valid = false;
+    };
+
+    std::vector<Entry> routes_;  ///< Indexed by NodeId.
+    std::size_t route_count_ = 0;
 };
 
 }  // namespace catapult::shell

@@ -1,18 +1,90 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace catapult::sim {
 
+namespace {
+
+// Events fired by Simulators on the calling thread. Simulation is
+// single-threaded, so a plain thread-local costs nothing on the hot
+// path; bench harnesses read it from the driving thread at exit.
+thread_local std::uint64_t t_events_fired = 0;
+
+/**
+ * First set bit at index >= `from`, wrapping circularly over the whole
+ * bitmap. Returns -1 when the bitmap is empty. `from` is a bit index in
+ * [0, nwords * 64).
+ */
+int FindSetCircular(const std::uint64_t* words, std::size_t nwords,
+                    unsigned from) {
+    const std::size_t word = from >> 6;
+    const unsigned bit = from & 63u;
+    if (const std::uint64_t w = words[word] >> bit; w != 0) {
+        return static_cast<int>(from) + std::countr_zero(w);
+    }
+    for (std::size_t i = 1; i <= nwords; ++i) {
+        const std::size_t wi = (word + i) % nwords;
+        if (words[wi] != 0) {
+            return static_cast<int>(wi * 64) + std::countr_zero(words[wi]);
+        }
+    }
+    return -1;
+}
+
+inline void SetBit(std::uint64_t* words, std::uint64_t index) {
+    words[index >> 6] |= std::uint64_t{1} << (index & 63u);
+}
+
+inline void ClearBit(std::uint64_t* words, std::uint64_t index) {
+    words[index >> 6] &= ~(std::uint64_t{1} << (index & 63u));
+}
+
+}  // namespace
+
+std::uint64_t GlobalEventsFired() { return t_events_fired; }
+
+std::uint32_t Simulator::AcquireSlot(bool daemon) {
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    Slot& record = slots_[slot];
+    record.cancelled = false;
+    record.daemon = daemon;
+    return slot;
+}
+
+void Simulator::ReleaseSlot(std::uint32_t slot) {
+    // Bumping the generation invalidates every outstanding handle to
+    // this slot: a later Cancel through a stale handle is a pure
+    // comparison miss, never a leak and never a hit on the reused slot.
+    ++slots_[slot].generation;
+    free_slots_.push_back(slot);
+}
+
 EventHandle Simulator::Schedule(Time when, EventFn fn, EventPriority priority,
                                 bool daemon) {
     assert(when >= now_ && "cannot schedule in the past");
-    const std::uint64_t id = next_sequence_++;
-    queue_.push(Scheduled{when, static_cast<int>(priority), id, id, daemon,
-                          std::move(fn)});
+    const std::uint32_t slot = AcquireSlot(daemon);
+    Event event;
+    event.when = when;
+    event.priority = static_cast<std::int32_t>(priority);
+    event.slot = slot;
+    event.sequence = next_sequence_++;
+    event.fn = std::move(fn);
+    Insert(std::move(event));
     ++live_events_;
     if (daemon) ++daemon_events_;
-    return EventHandle(id);
+    return EventHandle((static_cast<std::uint64_t>(slots_[slot].generation)
+                        << 32) |
+                       (slot + 1));
 }
 
 EventHandle Simulator::ScheduleAt(Time when, EventFn fn,
@@ -39,81 +111,215 @@ EventHandle Simulator::ScheduleDaemonAfter(Time delay, EventFn fn,
 
 void Simulator::Cancel(const EventHandle& handle) {
     if (!handle.valid()) return;
-    // Lazy deletion: remember the id and skip it when popped. O(1) per
-    // cancel — timeout-heavy multi-ring loads cancel on the hot path.
-    cancelled_.insert(handle.id());
+    const auto slot_plus_one =
+        static_cast<std::uint32_t>(handle.id_ & 0xFFFFFFFFull);
+    const auto generation = static_cast<std::uint32_t>(handle.id_ >> 32);
+    const std::uint32_t slot = slot_plus_one - 1;
+    if (slot >= slots_.size()) return;  // not a handle of this simulator
+    Slot& record = slots_[slot];
+    // A fired or already-cancelled event bumped (or flagged) its slot:
+    // the handle is stale and the cancel is a free no-op.
+    if (record.generation != generation || record.cancelled) return;
+    record.cancelled = true;
+    --live_events_;
+    if (record.daemon) --daemon_events_;
 }
 
-bool Simulator::PopNext(Scheduled& out) {
-    while (!queue_.empty()) {
-        out = queue_.top();
-        queue_.pop();
-        if (const auto it = cancelled_.find(out.id); it != cancelled_.end()) {
-            cancelled_.erase(it);
-            --live_events_;
-            if (out.daemon) --daemon_events_;
-            continue;  // cancelled; skip
-        }
-        return true;
+void Simulator::Insert(Event&& event) {
+    if (config_.queue_kind == SimulatorConfig::QueueKind::kBinaryHeap) {
+        heap_.push_back(std::move(event));
+        std::push_heap(heap_.begin(), heap_.end(), LaterFirst{});
+        return;
     }
-    return false;
+    const auto s0 = static_cast<std::uint64_t>(event.when) >> kSliceBits;
+    if (s0 < l0_cursor_) {
+        // Behind the cursor: a put-back stop advanced the wheel past
+        // now_, and this event precedes everything still wheeled (its
+        // slice — hence its time — is strictly earlier). It goes to the
+        // front spill heap, drained before the wheels.
+        front_.push_back(std::move(event));
+        std::push_heap(front_.begin(), front_.end(), LaterFirst{});
+        return;
+    }
+    if (s0 < l0_end_slice()) {
+        // Near horizon: straight into the slice's bucket heap. The L0
+        // window is aligned to one L1 slot, so slice -> index is
+        // injective within it.
+        const std::uint64_t index = s0 & kWheelMask;
+        auto& bucket = l0_[index];
+        bucket.push_back(std::move(event));
+        std::push_heap(bucket.begin(), bucket.end(), LaterFirst{});
+        SetBit(l0_occupied_.data(), index);
+        ++l0_count_;
+        return;
+    }
+    const std::uint64_t s1 = s0 >> kWheelBits;
+    if (s1 < l1_base_slot_ + kWheelSize) {
+        // Mid horizon: stage unsorted; the slot is heapified bucket by
+        // bucket when the L0 window advances onto it.
+        const std::uint64_t index = s1 & kWheelMask;
+        l1_[index].push_back(std::move(event));
+        SetBit(l1_occupied_.data(), index);
+        ++l1_count_;
+        return;
+    }
+    // Far future (beyond ~68.7 ms): the sorted overflow level.
+    overflow_.push_back(std::move(event));
+    std::push_heap(overflow_.begin(), overflow_.end(), LaterFirst{});
+}
+
+bool Simulator::PopNext(Event& out) {
+    if (config_.queue_kind == SimulatorConfig::QueueKind::kBinaryHeap) {
+        while (!heap_.empty()) {
+            std::pop_heap(heap_.begin(), heap_.end(), LaterFirst{});
+            out = std::move(heap_.back());
+            heap_.pop_back();
+            if (slots_[out.slot].cancelled) {
+                ReleaseSlot(out.slot);
+                continue;
+            }
+            return true;
+        }
+        return false;
+    }
+    for (;;) {
+        while (!front_.empty()) {
+            std::pop_heap(front_.begin(), front_.end(), LaterFirst{});
+            out = std::move(front_.back());
+            front_.pop_back();
+            if (slots_[out.slot].cancelled) {
+                ReleaseSlot(out.slot);
+                continue;
+            }
+            return true;
+        }
+        if (l0_count_ > 0) {
+            const int index = FindSetCircular(l0_occupied_.data(), kBitmapWords,
+                                              static_cast<unsigned>(
+                                                  l0_cursor_ & kWheelMask));
+            assert(index >= 0);
+            const auto uindex = static_cast<std::uint64_t>(index);
+            assert(uindex >= (l0_cursor_ & kWheelMask) &&
+                   "aligned L0 window never wraps");
+            l0_cursor_ = (l1_cursor_ << kWheelBits) + uindex;
+            auto& bucket = l0_[uindex];
+            std::pop_heap(bucket.begin(), bucket.end(), LaterFirst{});
+            out = std::move(bucket.back());
+            bucket.pop_back();
+            if (bucket.empty()) ClearBit(l0_occupied_.data(), uindex);
+            --l0_count_;
+            if (slots_[out.slot].cancelled) {
+                ReleaseSlot(out.slot);
+                continue;
+            }
+            return true;
+        }
+        if (l1_count_ > 0) {
+            // Advance the L0 window onto the next staged L1 slot and
+            // scatter its events into their slice buckets.
+            const auto from =
+                static_cast<unsigned>((l1_cursor_ + 1) & kWheelMask);
+            const int index =
+                FindSetCircular(l1_occupied_.data(), kBitmapWords, from);
+            assert(index >= 0);
+            const std::uint64_t delta =
+                (static_cast<std::uint64_t>(index) - from) & kWheelMask;
+            l1_cursor_ += 1 + delta;
+            l0_cursor_ = l1_cursor_ << kWheelBits;
+            auto& staged = l1_[static_cast<std::uint64_t>(index)];
+            l1_count_ -= staged.size();
+            for (Event& event : staged) {
+                const auto s0 =
+                    static_cast<std::uint64_t>(event.when) >> kSliceBits;
+                const std::uint64_t bucket_index = s0 & kWheelMask;
+                auto& bucket = l0_[bucket_index];
+                bucket.push_back(std::move(event));
+                std::push_heap(bucket.begin(), bucket.end(), LaterFirst{});
+                SetBit(l0_occupied_.data(), bucket_index);
+                ++l0_count_;
+            }
+            staged.clear();
+            ClearBit(l1_occupied_.data(), static_cast<std::uint64_t>(index));
+            continue;
+        }
+        if (!overflow_.empty()) {
+            // Both wheels drained: rebase the windows at the overflow
+            // minimum and pull everything now within the L1 horizon
+            // back through normal placement.
+            const auto base_s1 =
+                static_cast<std::uint64_t>(overflow_.front().when) >>
+                (kSliceBits + kWheelBits);
+            l1_base_slot_ = base_s1;
+            l1_cursor_ = base_s1;
+            l0_cursor_ = base_s1 << kWheelBits;
+            while (!overflow_.empty()) {
+                const auto s1 =
+                    static_cast<std::uint64_t>(overflow_.front().when) >>
+                    (kSliceBits + kWheelBits);
+                if (s1 >= l1_base_slot_ + kWheelSize) break;
+                std::pop_heap(overflow_.begin(), overflow_.end(), LaterFirst{});
+                Event event = std::move(overflow_.back());
+                overflow_.pop_back();
+                Insert(std::move(event));
+            }
+            continue;
+        }
+        return false;
+    }
+}
+
+void Simulator::FireAndRelease(Event& event) {
+    --live_events_;
+    if (slots_[event.slot].daemon) --daemon_events_;
+    now_ = event.when;
+    ++events_fired_;
+    ++t_events_fired;
+    // Release before invoking: a callback cancelling its own handle (or
+    // recycling it via a new schedule) must observe it as already spent.
+    ReleaseSlot(event.slot);
+    event.fn();
 }
 
 bool Simulator::Step() {
-    Scheduled event;
+    Event event;
     if (!PopNext(event)) return false;
-    --live_events_;
-    if (event.daemon) --daemon_events_;
-    now_ = event.when;
-    ++events_fired_;
-    event.fn();
+    FireAndRelease(event);
     return true;
 }
 
 std::uint64_t Simulator::Run() {
     // Stop when only daemon (background) events remain: recurring
     // processes like SEU injection never drain on their own. The check
-    // happens after PopNext so lazily-cancelled foreground events do
-    // not force a far-future daemon event to fire.
+    // happens after PopNext so cancelled foreground events do not force
+    // a far-future daemon event to fire.
     std::uint64_t fired = 0;
-    Scheduled event;
-    while (true) {
-        if (!PopNext(event)) break;
-        if (event.daemon && live_events_ == daemon_events_) {
+    Event event;
+    while (PopNext(event)) {
+        if (slots_[event.slot].daemon && live_events_ == daemon_events_) {
             // Only background work remains; leave it pending.
-            queue_.push(std::move(event));
+            Insert(std::move(event));
             break;
         }
-        --live_events_;
-        if (event.daemon) --daemon_events_;
-        now_ = event.when;
-        ++events_fired_;
+        FireAndRelease(event);
         ++fired;
-        event.fn();
     }
     return fired;
 }
 
 std::uint64_t Simulator::RunUntil(Time horizon) {
     std::uint64_t fired = 0;
-    Scheduled event;
-    while (true) {
-        if (!PopNext(event)) break;
+    Event event;
+    while (PopNext(event)) {
         if (event.when > horizon) {
-            // Put it back (moved: re-copying the std::function closure
-            // is wasted work on every horizon crossing); advancing now_
-            // to the horizon keeps callers' notion of elapsed time
-            // consistent.
-            queue_.push(std::move(event));
-            now_ = horizon;
+            // Put it back with its original sequence number, so the
+            // deterministic order is untouched and the handle stays
+            // cancellable; advancing now_ to the horizon keeps callers'
+            // notion of elapsed time consistent.
+            Insert(std::move(event));
             break;
         }
-        --live_events_;
-        if (event.daemon) --daemon_events_;
-        now_ = event.when;
-        ++events_fired_;
+        FireAndRelease(event);
         ++fired;
-        event.fn();
     }
     if (now_ < horizon) now_ = horizon;
     return fired;

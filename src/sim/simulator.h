@@ -5,22 +5,40 @@
 // links, the torus router, the ranking pipeline stages — schedules
 // callbacks here. Ties at the same simulated time break first on an
 // explicit priority, then on insertion order, so runs are deterministic.
+//
+// Two queue implementations share that ordering contract exactly:
+//
+//  - kTimingWheel (production): a two-level hierarchical timing wheel
+//    with a sorted overflow heap. Level 0 buckets 65.5 ns slices over a
+//    ~67 us window; level 1 stages whole L0 windows over a ~68.7 ms
+//    horizon; anything further sits in the overflow heap until the
+//    wheels advance. Near-horizon schedule/pop — the dense load-sweep
+//    pattern — touches one small per-slice bucket heap instead of one
+//    global binary heap, so cost stays O(log bucket) with buckets of a
+//    handful of events.
+//  - kBinaryHeap (reference): the classic global binary heap, kept for
+//    the golden determinism cross-check (same seed, either queue,
+//    identical completion order).
+//
+// Cancellation is generation-stamped: each pending event owns a slot in
+// a free-listed table and its handle packs (slot, generation). Cancel is
+// a bounds-check plus a flag store — O(1), no hashing, and a handle for
+// an already-fired event can never leak memory because its generation no
+// longer matches.
 
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "common/units.h"
+#include "sim/inline_function.h"
 
 namespace catapult::sim {
 
 /** Callback invoked when a scheduled event fires. */
-using EventFn = std::function<void()>;
+using EventFn = InlineFunction<void()>;
 
 /**
  * Priorities for same-tick ordering. Lower values run first. Most
@@ -47,6 +65,15 @@ class EventHandle {
     std::uint64_t id_ = 0;
 };
 
+/** Kernel construction knobs (the default is the production wheel). */
+struct SimulatorConfig {
+    enum class QueueKind {
+        kTimingWheel,  ///< Hierarchical timing wheel + overflow heap.
+        kBinaryHeap,   ///< Reference global heap (determinism cross-check).
+    };
+    QueueKind queue_kind = QueueKind::kTimingWheel;
+};
+
 /**
  * The event queue and simulated clock.
  *
@@ -56,6 +83,7 @@ class EventHandle {
 class Simulator {
   public:
     Simulator() = default;
+    explicit Simulator(SimulatorConfig config) : config_(config) {}
 
     Simulator(const Simulator&) = delete;
     Simulator& operator=(const Simulator&) = delete;
@@ -104,35 +132,116 @@ class Simulator {
     /** Total events fired since construction. */
     std::uint64_t EventsFired() const { return events_fired_; }
 
+    /**
+     * Size of the cancellation slot table — pending plus
+     * cancelled-but-unpopped events, never more than the historic peak.
+     * Test introspection: a schedule/fire/cancel loop must not grow it.
+     */
+    std::size_t event_slots() const { return slots_.size(); }
+
+    SimulatorConfig::QueueKind queue_kind() const { return config_.queue_kind; }
+
   private:
-    struct Scheduled {
+    // --- Wheel geometry --------------------------------------------------
+    // L0 slice: 2^16 ps ~ 65.5 ns. L0 window: 1024 slices ~ 67 us, always
+    // aligned to a whole level-1 slot. L1 slot: one L0 window; L1 window:
+    // 1024 slots ~ 68.7 ms. Beyond that, the overflow heap.
+    static constexpr int kSliceBits = 16;
+    static constexpr int kWheelBits = 10;
+    static constexpr std::uint64_t kWheelSize = std::uint64_t{1} << kWheelBits;
+    static constexpr std::uint64_t kWheelMask = kWheelSize - 1;
+    static constexpr std::size_t kBitmapWords = kWheelSize / 64;
+
+    struct Event {
         Time when;
-        int priority;
+        std::int32_t priority;
+        std::uint32_t slot;  ///< Cancellation-table index.
         std::uint64_t sequence;
-        std::uint64_t id;
-        bool daemon;
         EventFn fn;
 
-        bool operator>(const Scheduled& other) const {
+        /** Strict-weak "fires later than" — the deterministic contract. */
+        bool After(const Event& other) const {
             if (when != other.when) return when > other.when;
             if (priority != other.priority) return priority > other.priority;
             return sequence > other.sequence;
         }
     };
 
+    struct LaterFirst {
+        bool operator()(const Event& a, const Event& b) const {
+            return a.After(b);
+        }
+    };
+
+    /** Generation-stamped cancellation slot. */
+    struct Slot {
+        std::uint32_t generation = 1;
+        bool cancelled = false;
+        bool daemon = false;
+    };
+
     EventHandle Schedule(Time when, EventFn fn, EventPriority priority,
                          bool daemon);
-    bool PopNext(Scheduled& out);
+    void Insert(Event&& event);
+    /**
+     * Pop the globally earliest pending event, skipping (and releasing)
+     * cancelled entries. The popped event's slot stays allocated until
+     * FireAndRelease or a put-back via Insert.
+     */
+    bool PopNext(Event& out);
+    void FireAndRelease(Event& event);
+    void ReleaseSlot(std::uint32_t slot);
+    std::uint32_t AcquireSlot(bool daemon);
 
-    std::priority_queue<Scheduled, std::vector<Scheduled>,
-                        std::greater<Scheduled>> queue_;
-    std::unordered_set<std::uint64_t> cancelled_;  // lazily-deleted ids
+    std::uint64_t l0_end_slice() const {
+        return (l1_cursor_ + 1) << kWheelBits;
+    }
+
+    SimulatorConfig config_;
+
+    // Level 0: per-slice bucket heaps over [l1_cursor_ * 1024, +1024).
+    std::array<std::vector<Event>, kWheelSize> l0_{};
+    std::array<std::uint64_t, kBitmapWords> l0_occupied_{};
+    std::uint64_t l0_cursor_ = 0;  ///< Absolute slice; earlier slices fired.
+    std::uint64_t l0_count_ = 0;
+
+    // Level 1: unsorted staging slots over [l1_base_slot_, +1024).
+    std::array<std::vector<Event>, kWheelSize> l1_{};
+    std::array<std::uint64_t, kBitmapWords> l1_occupied_{};
+    std::uint64_t l1_base_slot_ = 0;
+    std::uint64_t l1_cursor_ = 0;  ///< Slot currently mapped into L0.
+    std::uint64_t l1_count_ = 0;
+
+    /** Min-heap (std::*_heap with LaterFirst) for the far future. */
+    std::vector<Event> overflow_;
+
+    /**
+     * Min-heap for events scheduled at slices behind the L0 cursor.
+     * Possible only after a put-back (RunUntil horizon stop, daemon-only
+     * stop) advanced the wheel past now_: every entry here fires
+     * strictly before anything still in the wheels, so PopNext drains
+     * this first. Empty in steady state.
+     */
+    std::vector<Event> front_;
+
+    /** Reference queue (kBinaryHeap mode): one global min-heap. */
+    std::vector<Event> heap_;
+
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_slots_;
+
     Time now_ = 0;
     std::uint64_t next_sequence_ = 1;
     std::uint64_t live_events_ = 0;
     std::uint64_t daemon_events_ = 0;
     std::uint64_t events_fired_ = 0;
 };
+
+/**
+ * Process-wide events-fired counter, summed over every Simulator
+ * instance (bench harnesses report events/second from it).
+ */
+std::uint64_t GlobalEventsFired();
 
 /**
  * A clock domain derived from the kernel clock. Converts cycle counts to

@@ -1,0 +1,272 @@
+// Timing-wheel event-queue coverage: the ordering contract under wheel
+// geometry edges (slice/slot/overflow boundaries, horizon put-backs,
+// rollover), generation-stamped cancellation, and the golden
+// determinism cross-check against the reference binary heap.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/inline_function.h"
+#include "sim/simulator.h"
+
+namespace catapult::sim {
+namespace {
+
+Simulator MakeSim(SimulatorConfig::QueueKind kind) {
+    SimulatorConfig config;
+    config.queue_kind = kind;
+    return Simulator(config);
+}
+
+// Deterministic xorshift so the golden scenario is identical run to run.
+struct Rng {
+    std::uint64_t state = 0x9E3779B97F4A7C15ull;
+    std::uint64_t Next() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    }
+};
+
+struct FiredEvent {
+    Time when;
+    int tag;
+    bool operator==(const FiredEvent& other) const {
+        return when == other.when && tag == other.tag;
+    }
+};
+
+/**
+ * A mixed workload crossing every wheel level: sub-slice ties, L0
+ * window hops, L1 staging, overflow times, cancellations (stale ones
+ * included) and callback-driven reschedules.
+ */
+std::vector<FiredEvent> RunGoldenScenario(SimulatorConfig::QueueKind kind) {
+    Simulator sim = MakeSim(kind);
+    Rng rng;
+    std::vector<FiredEvent> fired;
+    std::vector<EventHandle> handles;
+    int tag = 0;
+
+    for (int i = 0; i < 400; ++i) {
+        Time at = 0;
+        switch (rng.Next() % 5) {
+          case 0: at = static_cast<Time>(rng.Next() % 256); break;          // sub-slice
+          case 1: at = Nanoseconds(static_cast<Time>(rng.Next() % 2000)); break;  // L0
+          case 2: at = Microseconds(static_cast<Time>(rng.Next() % 500)); break;  // L1
+          case 3: at = Milliseconds(static_cast<Time>(rng.Next() % 60)); break;   // L1 edge
+          default: at = Milliseconds(static_cast<Time>(rng.Next() % 900)); break; // overflow
+        }
+        const auto priority =
+            static_cast<EventPriority>((rng.Next() % 3) * 10);
+        const int t = ++tag;
+        EventHandle h = sim.ScheduleAt(at, [&fired, &sim, t] {
+            fired.push_back({sim.Now(), t});
+        }, priority);
+        handles.push_back(h);
+        if (rng.Next() % 6 == 0) {
+            sim.Cancel(handles[rng.Next() % handles.size()]);
+        }
+    }
+    // A couple of rescheduling chains that hop across levels.
+    for (int chain = 0; chain < 3; ++chain) {
+        const int t = ++tag;
+        sim.ScheduleAfter(Microseconds(10 + chain), [&, t]() {
+            fired.push_back({sim.Now(), t});
+            const int t2 = ++tag;
+            sim.ScheduleAfter(Milliseconds(100), [&fired, &sim, t2] {
+                fired.push_back({sim.Now(), t2});
+            });
+        });
+    }
+    sim.Run();
+    return fired;
+}
+
+TEST(TimingWheel, GoldenDeterminismMatchesBinaryHeap) {
+    const auto wheel =
+        RunGoldenScenario(SimulatorConfig::QueueKind::kTimingWheel);
+    const auto heap =
+        RunGoldenScenario(SimulatorConfig::QueueKind::kBinaryHeap);
+    ASSERT_EQ(wheel.size(), heap.size());
+    for (std::size_t i = 0; i < wheel.size(); ++i) {
+        EXPECT_EQ(wheel[i], heap[i]) << "diverged at event " << i;
+    }
+}
+
+TEST(TimingWheel, SameTickPriorityOrderingAcrossLevels) {
+    // Same simulated instant, scheduled while the instant is still in
+    // different wheel levels (far future at first), mixed priorities:
+    // ties must break (priority, insertion order) exactly.
+    Simulator sim = MakeSim(SimulatorConfig::QueueKind::kTimingWheel);
+    const Time tick = Milliseconds(200);  // starts life in overflow
+    std::vector<int> order;
+    sim.ScheduleAt(tick, [&] { order.push_back(0); },
+                   EventPriority::kTimeout);
+    sim.ScheduleAt(tick, [&] { order.push_back(1); },
+                   EventPriority::kDeliver);
+    sim.ScheduleAt(tick, [&] { order.push_back(2); },
+                   EventPriority::kDefault);
+    sim.ScheduleAt(tick, [&] { order.push_back(3); },
+                   EventPriority::kDeliver);
+    // Drag the wheel close first so the tick crosses overflow -> L1 ->
+    // L0 before firing.
+    sim.ScheduleAt(Milliseconds(199), [&] {
+        sim.ScheduleAt(tick, [&] { order.push_back(4); },
+                       EventPriority::kDeliver);
+    });
+    sim.Run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 4, 2, 0}));
+}
+
+TEST(TimingWheel, HorizonCrossingDefersDaemonsAndStaysOrdered) {
+    Simulator sim = MakeSim(SimulatorConfig::QueueKind::kTimingWheel);
+    std::vector<int> order;
+    std::uint64_t daemon_fires = 0;
+    // A recurring daemon that would run forever under RunUntil.
+    std::function<void()> tick = [&] {
+        ++daemon_fires;
+        sim.ScheduleDaemonAfter(Microseconds(30), [&] { tick(); });
+    };
+    sim.ScheduleDaemonAfter(Microseconds(30), [&] { tick(); });
+    sim.ScheduleAt(Microseconds(100), [&] { order.push_back(1); });
+    sim.ScheduleAt(Milliseconds(80), [&] { order.push_back(2); });
+
+    // Stop mid-way: the ms-80 event is popped, seen past the horizon
+    // and put back (the put-back advances the wheel cursor past now_).
+    sim.RunUntil(Milliseconds(1));
+    EXPECT_EQ(sim.Now(), Milliseconds(1));
+    EXPECT_EQ(order, std::vector<int>{1});
+    const std::uint64_t fires_at_horizon = daemon_fires;
+    EXPECT_GT(fires_at_horizon, 0u);
+
+    // Events scheduled after the horizon stop, earlier than the
+    // deferred one, must still fire first (front-spill path).
+    sim.ScheduleAfter(Microseconds(5), [&] { order.push_back(3); });
+    sim.Run();  // stops once only the daemon remains
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+    EXPECT_TRUE(sim.Empty());             // no foreground work left...
+    EXPECT_GT(sim.PendingEvents(), 0u);   // ...but the daemon is pending
+}
+
+TEST(TimingWheel, RolloverAtFarFutureTimes) {
+    // Each event is beyond the previous L1 window, forcing repeated
+    // overflow rebases; interleaved near events after each rebase
+    // verify the rebased windows still order correctly.
+    Simulator sim = MakeSim(SimulatorConfig::QueueKind::kTimingWheel);
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i) {
+        sim.ScheduleAt(Milliseconds(100) * (i + 1), [&order, &sim, i] {
+            order.push_back(i);
+            // A short chase event lands in the freshly rebased window.
+            sim.ScheduleAfter(Nanoseconds(50), [&order, i] {
+                order.push_back(100 + i);
+            });
+        });
+    }
+    sim.ScheduleAt(Seconds(5), [&order] { order.push_back(999); });
+    sim.Run();
+    std::vector<int> expected;
+    for (int i = 0; i < 8; ++i) {
+        expected.push_back(i);
+        expected.push_back(100 + i);
+    }
+    expected.push_back(999);
+    EXPECT_EQ(order, expected);
+    EXPECT_EQ(sim.Now(), Seconds(5));
+}
+
+TEST(TimingWheel, CancelThenRescheduleReusesSlots) {
+    Simulator sim = MakeSim(SimulatorConfig::QueueKind::kTimingWheel);
+    // Steady-state churn: schedule, cancel, reschedule. The slot table
+    // must plateau at the in-flight peak, not grow with churn.
+    int fired = 0;
+    for (int round = 0; round < 10'000; ++round) {
+        EventHandle doomed =
+            sim.ScheduleAfter(Microseconds(5), [&] { ++fired; });
+        sim.Cancel(doomed);
+        sim.Cancel(doomed);  // double-cancel is a no-op
+        sim.ScheduleAfter(Microseconds(1), [&] { ++fired; });
+        sim.Run();
+    }
+    EXPECT_EQ(fired, 10'000);
+    // One live + one cancelled slot in flight at peak.
+    EXPECT_LE(sim.event_slots(), 4u);
+}
+
+TEST(TimingWheel, CancellingFiredHandlesDoesNotGrowState) {
+    // Regression: cancelling a handle whose event already fired used to
+    // park the id in a tombstone set forever; long-lived sims (every
+    // timeout path cancels after completion) leaked. With
+    // generation-stamped slots the stale cancel is a comparison miss.
+    Simulator sim = MakeSim(SimulatorConfig::QueueKind::kTimingWheel);
+    std::vector<EventHandle> fired_handles;
+    for (int round = 0; round < 50'000; ++round) {
+        EventHandle h = sim.ScheduleAfter(Nanoseconds(100), [] {});
+        sim.Run();
+        fired_handles.push_back(h);
+        sim.Cancel(fired_handles[static_cast<std::size_t>(round) / 2]);
+        sim.Cancel(h);
+    }
+    EXPECT_EQ(sim.EventsFired(), 50'000u);
+    EXPECT_EQ(sim.PendingEvents(), 0u);
+    // The whole loop reuses one slot; the table must not scale with
+    // the number of stale cancels.
+    EXPECT_LE(sim.event_slots(), 2u);
+}
+
+TEST(TimingWheel, DefaultConfigIsTimingWheel) {
+    Simulator sim;
+    EXPECT_EQ(sim.queue_kind(), SimulatorConfig::QueueKind::kTimingWheel);
+}
+
+// --- InlineFunction (the EventFn small-buffer callable) ---------------
+
+TEST(InlineFunctionTest, InvokesInlineAndBoxedTargets) {
+    int hits = 0;
+    InlineFunction<void()> small([&hits] { ++hits; });
+    small();
+    EXPECT_EQ(hits, 1);
+
+    // Oversized capture: must take the heap-boxed path and still work.
+    std::array<std::uint64_t, 16> big{};
+    big[15] = 7;
+    InlineFunction<void()> boxed([big, &hits] {
+        hits += static_cast<int>(big[15]);
+    });
+    boxed();
+    EXPECT_EQ(hits, 8);
+}
+
+TEST(InlineFunctionTest, MoveTransfersTarget) {
+    int hits = 0;
+    InlineFunction<void()> a([&hits] { ++hits; });
+    InlineFunction<void()> b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    InlineFunction<void()> c;
+    c = std::move(b);
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunctionTest, DestroysCapturedState) {
+    auto guard = std::make_shared<int>(42);
+    std::weak_ptr<int> watch = guard;
+    {
+        InlineFunction<void()> fn([guard] { (void)*guard; });
+        guard.reset();
+        EXPECT_FALSE(watch.expired());
+    }
+    EXPECT_TRUE(watch.expired());
+}
+
+}  // namespace
+}  // namespace catapult::sim
