@@ -65,6 +65,13 @@ int main() {
             ++qm_dispatched;
             now += per_doc;
         }
+        // This ablation replays the QM policy directly instead of
+        // driving a Simulator, so its work never lands in the
+        // events-fired counter the [events_fired] reporter prints.
+        // Account each replayed dispatch (both disciplines) as one
+        // event so run_all's events_per_sec covers this bench too.
+        sim::AdoptEventsFired(static_cast<std::uint64_t>(kDocs) +
+                              qm_dispatched);
         const double doc_time = ToMicroseconds(per_doc) * kDocs;
         const double fifo_time =
             doc_time + ToMicroseconds(reload) * static_cast<double>(fifo_switches);

@@ -18,6 +18,7 @@
 // (and CI's --compare gate) catches federation regressions.
 
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.h"
 #include "rank/document_generator.h"
@@ -140,6 +141,46 @@ BlackoutResult RunBlackout() {
     return result;
 }
 
+// --- Part 3: parallel federation runtime ------------------------------
+
+struct ShardedRun {
+    bool deployed = false;
+    double wall_ms = 0.0;
+    service::LoadResult load;
+    std::uint64_t completed = 0;
+    std::uint64_t failovers = 0;
+};
+
+/**
+ * The same sharded 4-pod federation under the same open-loop load,
+ * lock-step on one thread vs parallel on worker threads. Simulated
+ * metrics must match bit-for-bit (the conservative epoch protocol's
+ * determinism contract); wall time is where the parallelism shows.
+ */
+ShardedRun RunShardedLoad(bool parallel) {
+    auto config = FederationConfig(4);
+    config.sharding.enabled = true;
+    config.sharding.parallel = parallel;
+    service::FederationTestbed bed(config);
+    ShardedRun run;
+    if (!bed.DeployAndSettle()) return run;
+    service::FederatedOpenLoopInjector::Config load;
+    load.rate_qps = 60'000.0;
+    load.duration = Milliseconds(160);
+    load.arrival_batch = 8;
+    service::FederatedOpenLoopInjector injector(&bed.dispatcher(),
+                                                &bed.simulator(), Rng(41),
+                                                load);
+    injector.set_group(bed.group());
+    run.deployed = true;
+    const bench::WallTimer timer;
+    run.load = injector.Run();
+    run.wall_ms = timer.Ms();
+    run.completed = bed.dispatcher().counters().completed;
+    run.failovers = bed.dispatcher().counters().failovers;
+    return run;
+}
+
 }  // namespace
 
 int main() {
@@ -215,12 +256,59 @@ int main() {
                     blackout.dead_nodes);
         ok = false;
     }
+    std::printf("\nParallel federation: 4 sharded pods, open-loop 60k QPS "
+                "x 160 ms, lock-step vs worker threads\n");
+    const unsigned cores = std::thread::hardware_concurrency();
+    const ShardedRun lockstep = RunShardedLoad(/*parallel=*/false);
+    const ShardedRun threaded = RunShardedLoad(/*parallel=*/true);
+    if (!lockstep.deployed || !threaded.deployed ||
+        lockstep.completed == 0) {
+        std::printf("FAIL: sharded federation run did not complete\n");
+        return 1;
+    }
+    const double speedup =
+        threaded.wall_ms > 0.0 ? lockstep.wall_ms / threaded.wall_ms : 0.0;
+    bench::Row({"mode", "wall_ms", "completed", "mean_us", "p99_us"});
+    bench::Row({"lockstep", bench::Fmt(lockstep.wall_ms, 1),
+                bench::FmtInt(static_cast<long long>(lockstep.completed)),
+                bench::Fmt(lockstep.load.latency_us.mean(), 1),
+                bench::Fmt(lockstep.load.latency_us.P99(), 1)});
+    bench::Row({"parallel", bench::Fmt(threaded.wall_ms, 1),
+                bench::FmtInt(static_cast<long long>(threaded.completed)),
+                bench::Fmt(threaded.load.latency_us.mean(), 1),
+                bench::Fmt(threaded.load.latency_us.P99(), 1)});
+    std::printf("[parallel_speedup] %.2f (cores=%u)\n", speedup, cores);
+    if (lockstep.completed != threaded.completed ||
+        lockstep.load.timeouts != threaded.load.timeouts ||
+        lockstep.load.rejected != threaded.load.rejected ||
+        lockstep.load.latency_us.samples() !=
+            threaded.load.latency_us.samples()) {
+        std::printf("FAIL: parallel run diverged from lock-step (completed "
+                    "%llu vs %llu)\n",
+                    static_cast<unsigned long long>(lockstep.completed),
+                    static_cast<unsigned long long>(threaded.completed));
+        ok = false;
+    }
+    // The speedup gate is hardware-aware: on a single-core runner the
+    // group collapses to one executor and the gate degrades to a
+    // report; with 4+ cores the 4 pod shards must deliver >= 2x.
+    if (cores >= 4 && speedup < 2.0) {
+        std::printf("FAIL: parallel speedup %.2fx < 2.0x on %u cores\n",
+                    speedup, cores);
+        ok = false;
+    } else if (cores >= 2 && cores < 4 && speedup < 1.2) {
+        std::printf("FAIL: parallel speedup %.2fx < 1.2x on %u cores\n",
+                    speedup, cores);
+        ok = false;
+    }
+
     if (!ok) return 1;
     std::printf("PASS: 3 pods sustain %.2fx one pod; blackout retained "
                 "%.1f%% QPS, %d/%d accepted queries completed, %llu "
-                "failover(s)\n",
+                "failover(s); parallel federation %.2fx on %u core(s)\n",
                 three_pod / one_pod, 100.0 * retained, blackout.ok,
                 blackout.accepted,
-                static_cast<unsigned long long>(blackout.failovers));
+                static_cast<unsigned long long>(blackout.failovers),
+                speedup, cores);
     return 0;
 }

@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -14,6 +15,20 @@
 #include "sim/simulator.h"
 
 namespace catapult::bench {
+
+/** Wall-clock stopwatch for host-time (not simulated-time) metrics. */
+class WallTimer {
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+    double Ms() const {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
 
 /**
  * Prints the process-wide simulator event count at exit in a

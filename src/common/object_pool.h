@@ -12,11 +12,25 @@
 // Under AddressSanitizer the free list poisons parked blocks, so a
 // use-after-release-into-pool fails the sanitized job just like a
 // use-after-free would have without pooling.
+//
+// Thread model (parallel federation runtime): every thread has its own
+// arena, and Allocate/Release always touch the *calling* thread's
+// arena — there is no shared free list and therefore no lock. A block
+// allocated on thread A and released on thread B simply migrates: it
+// joins B's free list and is recycled by B from then on. That is safe
+// because slabs are never freed (arenas are intentionally leaked, see
+// Instance()), so the block's storage outlives every thread, and the
+// SimulatorGroup epoch barrier provides the happens-before edge between
+// the releasing and the reusing thread. The only cost of migration is
+// capacity drift — a thread that only frees grows its list while the
+// allocating thread refills — which is bounded by in-flight object
+// count, not by run length.
 
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #if defined(__SANITIZE_ADDRESS__)
@@ -34,6 +48,20 @@
 namespace catapult {
 
 namespace detail {
+
+/**
+ * Global root keeping every arena ever created reachable, so the
+ * intentional arena leak (see PoolArena::Instance) stays invisible to
+ * LeakSanitizer even after the owning thread has exited and its TLS
+ * pointer is gone. Locked once per thread per size class — at arena
+ * construction — never on the allocate/release path.
+ */
+inline void RegisterArena(void* arena) {
+    static std::mutex* mutex = new std::mutex;
+    static std::vector<void*>* registry = new std::vector<void*>;
+    std::lock_guard<std::mutex> lock(*mutex);
+    registry->push_back(arena);
+}
 
 /**
  * One size class: recycled blocks of exactly sizeof(Block) bytes.
@@ -65,11 +93,18 @@ class PoolArena {
     /**
      * The arena is intentionally never destroyed: its blocks may be
      * owned by objects (scheduled callbacks, parked shared_ptrs) whose
-     * destruction order versus thread-local teardown is unknowable.
-     * TLS keeps it reachable, so LeakSanitizer stays quiet.
+     * destruction order versus thread-local teardown is unknowable —
+     * and blocks released on another thread migrate to *that* thread's
+     * arena, so storage must outlive every thread. The global registry
+     * keeps each arena reachable after its thread exits, so
+     * LeakSanitizer stays quiet.
      */
     static PoolArena& Instance() {
-        static thread_local PoolArena* arena = new PoolArena;
+        static thread_local PoolArena* arena = [] {
+            auto* created = new PoolArena;
+            RegisterArena(created);
+            return created;
+        }();
         return *arena;
     }
 

@@ -84,6 +84,13 @@ class PodContext {
          * layer.
          */
         int pod_id = 0;
+        /**
+         * SimulatorGroup shard this pod's stack is pinned to, -1 when
+         * the pod shares the classic single simulator. Informational:
+         * the `simulator` passed to the constructor is already the
+         * shard's; this records the pinning for logs and asserts.
+         */
+        int shard_index = -1;
     };
 
     /** Builds the whole pod on `simulator`; does not deploy the pool. */
@@ -96,6 +103,8 @@ class PodContext {
     void Deploy(std::function<void(bool)> on_done);
 
     int pod_id() const { return config_.pod_id; }
+    /** Group shard the pod is pinned to (-1 = shared simulator). */
+    int shard_index() const { return config_.shard_index; }
     const Config& config() const { return config_; }
 
     sim::Simulator& simulator() { return *simulator_; }

@@ -33,10 +33,38 @@ FederatedDispatcher::~FederatedDispatcher() {
             slot.context->health_monitor().RemoveFailureSubscriber(
                 slot.health_subscription);
         }
+        if (slot.shard >= 0) {
+            slot.context->pool().set_on_rings_available_changed(nullptr);
+        }
     }
 }
 
+void FederatedDispatcher::BindShardGroup(const ShardBinding& binding) {
+    assert(pods_.empty() && "bind before the first pod attach");
+    assert(binding.group != nullptr);
+    assert(binding.coordinator_shard >= 0 &&
+           binding.coordinator_shard < binding.group->shard_count());
+    // The conservative-sync contract: every cross-shard hop must span
+    // at least one epoch, or a message could land inside the epoch
+    // that produced it and the barrier would have missed it.
+    assert(binding.inject_hop >= binding.group->epoch());
+    assert(binding.completion_hop >= binding.group->epoch());
+    binding_ = binding;
+}
+
 int FederatedDispatcher::AttachPod(mgmt::PodContext* pod) {
+    return AttachPodInternal(pod, /*shard=*/-1);
+}
+
+int FederatedDispatcher::AttachPodShard(mgmt::PodContext* pod, int shard) {
+    assert(sharded() && "BindShardGroup first");
+    assert(shard >= 0 && shard < binding_.group->shard_count());
+    assert(shard != binding_.coordinator_shard &&
+           "a pod cannot share the coordinator shard");
+    return AttachPodInternal(pod, shard);
+}
+
+int FederatedDispatcher::AttachPodInternal(mgmt::PodContext* pod, int shard) {
     assert(pod != nullptr);
     if (pod_count() >= 64) {
         // The per-query tried-set is a 64-bit mask; a 65th pod would
@@ -50,6 +78,7 @@ int FederatedDispatcher::AttachPod(mgmt::PodContext* pod) {
     const int index = pod_count();
     PodSlot slot;
     slot.context = pod;
+    slot.shard = shard;
     slot.node_dead.assign(
         static_cast<std::size_t>(pod->fabric().node_count()), 0);
     // The health plane is the fast path for whole-pod loss: once every
@@ -58,40 +87,89 @@ int FederatedDispatcher::AttachPod(mgmt::PodContext* pod) {
     // the pod is skipped without probing — no query has to die to
     // rediscover it. Partial failures stay the pool's business (it
     // drains only the hit ring) and only feed the stats here.
-    slot.health_subscription = pod->health_monitor().AddFailureSubscriber(
-        [this, index](const mgmt::MachineReport& report) {
-            PodSlot& hit = pods_[static_cast<std::size_t>(index)];
-            ++hit.fault_reports;
-            if (report.fault != mgmt::FaultType::kUnresponsiveFatal) return;
-            // Distinct nodes only: a re-investigation of an
-            // already-fatal node emits a duplicate report, which must
-            // not push a partially-alive pod over the latch threshold.
-            if (report.node < 0 ||
-                report.node >= static_cast<int>(hit.node_dead.size()) ||
-                hit.node_dead[static_cast<std::size_t>(report.node)] != 0) {
-                return;
-            }
-            hit.node_dead[static_cast<std::size_t>(report.node)] = 1;
-            ++hit.dead_nodes;
-            if (hit.dead_nodes >= hit.context->fabric().node_count()) {
-                if (simulator_->Now() >= hit.breaker_open_until) {
-                    ++counters_.breaker_trips;
-                }
-                hit.breaker_open_until = std::numeric_limits<Time>::max();
-                LOG_WARN("federation")
-                    << "pod " << hit.context->pod_id()
-                    << " lost (every node fatal); latched out of rotation";
-            }
-        });
+    //
     // The predictive plane: every published score updates the slot and
     // drives the shed/unshed hysteresis. Pods without a running
     // forecaster never publish, so they stay default-healthy here.
-    slot.score_subscription = pod->health_feed().SubscribeScoped(
-        [this, index](const mgmt::HealthScoreSample& sample) {
-            OnHealthSample(index, sample);
-        });
+    if (shard < 0) {
+        slot.health_subscription = pod->health_monitor().AddFailureSubscriber(
+            [this, index](const mgmt::MachineReport& report) {
+                ApplyMachineReport(index, report);
+            });
+        slot.score_subscription = pod->health_feed().SubscribeScoped(
+            [this, index](const mgmt::HealthScoreSample& sample) {
+                OnHealthSample(index, sample);
+            });
+    } else {
+        // Sharded federation: these callbacks fire on the pod's shard
+        // and must not touch dispatcher state there. Each ships its
+        // payload (a plain copy) to the coordinator through the group
+        // mailbox, one completion hop away — pod-boundary telemetry
+        // rides the same return path completions do.
+        sim::SimulatorGroup* group = binding_.group;
+        const int coord = binding_.coordinator_shard;
+        const Time hop = binding_.completion_hop;
+        slot.health_subscription = pod->health_monitor().AddFailureSubscriber(
+            [this, group, coord, hop, index,
+             shard](const mgmt::MachineReport& report) {
+                group->Post(shard, coord, group->shard(shard).Now() + hop,
+                            [this, index, report] {
+                                ApplyMachineReport(index, report);
+                            });
+            });
+        slot.score_subscription = pod->health_feed().SubscribeScoped(
+            [this, group, coord, hop, index,
+             shard](const mgmt::HealthScoreSample& sample) {
+                // Daemon: periodic score publishing must not keep the
+                // group's Run() alive once foreground work drains.
+                group->Post(shard, coord, group->shard(shard).Now() + hop,
+                            [this, index, sample] {
+                                OnHealthSample(index, sample);
+                            },
+                            sim::EventPriority::kDeliver, /*daemon=*/true);
+            });
+        // Coordinator-side ring availability: seeded now, then kept
+        // fresh by pushed updates on every rotation change. The view is
+        // one hop stale by construction — the optimistic-admission
+        // window the pod-side reject path covers.
+        slot.rings_view = pod->pool().available_rings();
+        pod->pool().set_on_rings_available_changed(
+            [this, group, coord, hop, index, shard](int rings) {
+                group->Post(shard, coord, group->shard(shard).Now() + hop,
+                            [this, index, rings] {
+                                pods_[static_cast<std::size_t>(index)]
+                                    .rings_view = rings;
+                            });
+            });
+    }
     pods_.push_back(std::move(slot));
     return index;
+}
+
+void FederatedDispatcher::ApplyMachineReport(
+    int pod_index, const mgmt::MachineReport& report) {
+    PodSlot& hit = pods_[static_cast<std::size_t>(pod_index)];
+    ++hit.fault_reports;
+    if (report.fault != mgmt::FaultType::kUnresponsiveFatal) return;
+    // Distinct nodes only: a re-investigation of an already-fatal node
+    // emits a duplicate report, which must not push a partially-alive
+    // pod over the latch threshold.
+    if (report.node < 0 ||
+        report.node >= static_cast<int>(hit.node_dead.size()) ||
+        hit.node_dead[static_cast<std::size_t>(report.node)] != 0) {
+        return;
+    }
+    hit.node_dead[static_cast<std::size_t>(report.node)] = 1;
+    ++hit.dead_nodes;
+    if (hit.dead_nodes >= hit.context->fabric().node_count()) {
+        if (simulator_->Now() >= hit.breaker_open_until) {
+            ++counters_.breaker_trips;
+        }
+        hit.breaker_open_until = std::numeric_limits<Time>::max();
+        LOG_WARN("federation")
+            << "pod " << hit.context->pod_id()
+            << " lost (every node fatal); latched out of rotation";
+    }
 }
 
 void FederatedDispatcher::OnHealthSample(
@@ -197,6 +275,9 @@ bool FederatedDispatcher::Eligible(const PodSlot& slot) const {
                                            WarmupRamp(slot)));
         if (slot.in_flight >= cap) return false;
     }
+    // Sharded mode reads the pushed availability proxy — the pod's pool
+    // lives on another shard and must not be touched synchronously.
+    if (slot.shard >= 0) return slot.rings_view > 0;
     return slot.context->pool().available_rings() > 0;
 }
 
@@ -335,7 +416,10 @@ int FederatedDispatcher::PickShedProbe(std::uint64_t tried) {
             slot.in_flight >= config_.max_in_flight_per_pod) {
             continue;
         }
-        if (slot.context->pool().available_rings() > 0) return i;
+        const int rings = slot.shard >= 0
+                              ? slot.rings_view
+                              : slot.context->pool().available_rings();
+        if (rings > 0) return i;
     }
     return -1;
 }
@@ -432,6 +516,31 @@ host::SendStatus FederatedDispatcher::TryInject(
                            slot.breaker_open_until !=
                                std::numeric_limits<Time>::max() &&
                            injected_at >= slot.breaker_open_until);
+    if (slot.shard >= 0) {
+        // Mailbox mode: admit optimistically and ship the inject one
+        // hop to the pod's shard. The pool's verdict (completion or
+        // refusal) comes back a completion hop later; a refusal is
+        // handled as a failover, not re-walked synchronously — the
+        // admission decision here was made on a one-hop-stale view and
+        // that latency is real.
+        const std::uint64_t query_id = next_query_id_++;
+        PendingInject pending;
+        pending.query = query;
+        pending.injected_at = injected_at;
+        pending.was_probe = is_probe;
+        pending_.emplace(query_id, std::move(pending));
+        const int thread = query->thread;
+        const rank::CompressedRequest request = query->request;
+        binding_.group->Post(
+            binding_.coordinator_shard, slot.shard,
+            injected_at + binding_.inject_hop,
+            [this, pod_index, query_id, thread, request] {
+                PodInjectOnShard(pod_index, query_id, thread, request);
+            });
+        ++slot.in_flight;
+        if (is_probe) slot.probe_in_flight = true;
+        return host::SendStatus::kOk;
+    }
     const auto status = slot.context->pool().Inject(
         query->thread, query->request,
         [this, pod_index, query, injected_at,
@@ -445,6 +554,74 @@ host::SendStatus FederatedDispatcher::TryInject(
         ++slot.stat_rejected;
     }
     return status;
+}
+
+void FederatedDispatcher::PodInjectOnShard(
+    int pod_index, std::uint64_t query_id, int thread,
+    const rank::CompressedRequest& request) {
+    // Runs on the pod's shard. Only the slot's immutable identity
+    // (context pointer, shard index) may be read here — every mutable
+    // dispatcher field belongs to the coordinator thread.
+    PodSlot& slot = pods_[static_cast<std::size_t>(pod_index)];
+    const int shard = slot.shard;
+    sim::SimulatorGroup* group = binding_.group;
+    const int coord = binding_.coordinator_shard;
+    const Time hop = binding_.completion_hop;
+    const auto status = slot.context->pool().Inject(
+        thread, request,
+        [this, group, coord, hop, shard, pod_index,
+         query_id](const ScoreResult& result) {
+            group->Post(shard, coord, group->shard(shard).Now() + hop,
+                        [this, pod_index, query_id, result] {
+                            OnShardResult(pod_index, query_id, result);
+                        });
+        });
+    if (status != host::SendStatus::kOk) {
+        group->Post(shard, coord, group->shard(shard).Now() + hop,
+                    [this, pod_index, query_id] {
+                        OnShardReject(pod_index, query_id);
+                    });
+    }
+}
+
+void FederatedDispatcher::OnShardResult(int pod_index, std::uint64_t query_id,
+                                        const ScoreResult& result) {
+    auto it = pending_.find(query_id);
+    if (it == pending_.end()) return;  // torn down mid-flight
+    PendingInject pending = std::move(it->second);
+    pending_.erase(it);
+    OnPodResult(pod_index, std::move(pending.query), pending.injected_at,
+                pending.was_probe, result);
+}
+
+void FederatedDispatcher::OnShardReject(int pod_index,
+                                        std::uint64_t query_id) {
+    auto it = pending_.find(query_id);
+    if (it == pending_.end()) return;
+    PendingInject pending = std::move(it->second);
+    pending_.erase(it);
+    PodSlot& slot = pods_[static_cast<std::size_t>(pod_index)];
+    --slot.in_flight;
+    if (pending.was_probe) slot.probe_in_flight = false;
+    ++slot.stat_rejected;
+    // A pool-level refusal is not a pod failure (no breaker input, as
+    // in direct mode) — but unlike direct mode the query was already
+    // accepted on the stale view, so the re-route consumes one of its
+    // retries instead of continuing the original synchronous walk.
+    std::shared_ptr<QueryContext> query = std::move(pending.query);
+    if (query->retries_left > 0) {
+        --query->retries_left;
+        ++counters_.failovers;
+        const int failed_pod = pod_index;
+        simulator_->ScheduleAfter(
+            config_.retry_backoff, [this, failed_pod, query]() mutable {
+                Failover(std::move(query), failed_pod);
+            });
+        return;
+    }
+    ScoreResult result;
+    result.ok = false;
+    Deliver(std::move(query), result);
 }
 
 void FederatedDispatcher::OnPodResult(int pod_index,

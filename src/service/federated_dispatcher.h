@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/units.h"
@@ -43,6 +44,7 @@
 #include "mgmt/pod_context.h"
 #include "service/ranking_service.h"
 #include "sim/simulator.h"
+#include "sim/simulator_group.h"
 
 namespace catapult::service {
 
@@ -125,6 +127,42 @@ class FederatedDispatcher {
      * per-query tried-set is a 64-bit mask).
      */
     int AttachPod(mgmt::PodContext* pod);
+
+    /**
+     * Sharded-federation binding: the dispatcher lives on a
+     * SimulatorGroup coordinator shard and every pod lives on its own
+     * shard. Cross-shard traffic — injects, completions, pod-level
+     * rejects, health telemetry — travels through the group's
+     * mailboxes with these hop latencies. Both hops must be >= the
+     * group's epoch (the conservative-sync lookahead contract);
+     * asserted here and again at every AttachPodShard. Must be called
+     * before the first pod attach; the dispatcher's own `simulator`
+     * must be the coordinator shard's.
+     */
+    struct ShardBinding {
+        sim::SimulatorGroup* group = nullptr;
+        int coordinator_shard = 0;
+        /** Coordinator -> pod: front-door network + pod DMA doorbell. */
+        Time inject_hop = 0;
+        /** Pod -> coordinator: completion interrupt + network. */
+        Time completion_hop = 0;
+    };
+    void BindShardGroup(const ShardBinding& binding);
+
+    /**
+     * AttachPod for a sharded federation: `pod`'s whole stack runs on
+     * group shard `shard`, and this dispatcher talks to it only
+     * through mailbox messages. Admission is optimistic: the
+     * coordinator tracks each pod's ring availability through pushed
+     * updates (one hop stale by construction), accepts the query
+     * immediately, and a pod-side refusal comes back as a failover
+     * consuming one retry — the price of the hop, mirroring what a
+     * real front door pays.
+     */
+    int AttachPodShard(mgmt::PodContext* pod, int shard);
+
+    /** True when BindShardGroup routed this dispatcher through mailboxes. */
+    bool sharded() const { return binding_.group != nullptr; }
 
     /**
      * Inject one query through the federation. kOk means accepted:
@@ -246,6 +284,14 @@ class FederatedDispatcher {
         /** A half-open probe query is outstanding (one at a time). */
         bool probe_in_flight = false;
         int health_subscription = -1;
+        /** Sharded mode: the group shard this pod's stack runs on (-1 = direct). */
+        int shard = -1;
+        /**
+         * Coordinator-side proxy of the pod's available_rings(),
+         * updated by pushed availability messages. In direct mode the
+         * pool is read synchronously instead.
+         */
+        int rings_view = 0;
         std::uint64_t fault_reports = 0;
         /** Distinct nodes flagged fatal (duplicate reports ignored). */
         std::vector<char> node_dead;
@@ -284,6 +330,13 @@ class FederatedDispatcher {
      * per-query tried-set stays an allocation-free bitmask). Returns
      * -1 when nothing fits.
      */
+    /** One mailbox-mode inject awaiting its pod's verdict. */
+    struct PendingInject {
+        std::shared_ptr<QueryContext> query;
+        Time injected_at = 0;
+        bool was_probe = false;
+    };
+
     int PickPod(std::uint32_t model_id, std::uint64_t tried);
     int PickShedProbe(std::uint64_t tried);
     /**
@@ -300,6 +353,18 @@ class FederatedDispatcher {
     /** Routing weight under kScoreWeighted (score x warm-up ramp). */
     double EffectiveWeight(const PodSlot& slot) const;
     void OnHealthSample(int pod_index, const mgmt::HealthScoreSample& sample);
+    /** Shared attach body; `shard` < 0 installs the direct-mode seams. */
+    int AttachPodInternal(mgmt::PodContext* pod, int shard);
+    /** Confirmed MachineReport bookkeeping (direct call or mailbox hop). */
+    void ApplyMachineReport(int pod_index, const mgmt::MachineReport& report);
+    // --- Mailbox mode: the pod-shard half of an inject. ----------------
+    /** Runs on the pod's shard: the actual pool Inject. */
+    void PodInjectOnShard(int pod_index, std::uint64_t query_id, int thread,
+                          const rank::CompressedRequest& request);
+    /** Back on the coordinator: completion / pod-level refusal. */
+    void OnShardResult(int pod_index, std::uint64_t query_id,
+                       const ScoreResult& result);
+    void OnShardReject(int pod_index, std::uint64_t query_id);
     host::SendStatus TryInject(int pod_index,
                                std::shared_ptr<QueryContext> query);
     void OnPodResult(int pod_index, std::shared_ptr<QueryContext> query,
@@ -311,6 +376,10 @@ class FederatedDispatcher {
 
     sim::Simulator* simulator_;
     Config config_;
+    ShardBinding binding_;
+    /** Mailbox-mode injects awaiting a pod verdict, by query id. */
+    std::unordered_map<std::uint64_t, PendingInject> pending_;
+    std::uint64_t next_query_id_ = 1;
     std::vector<PodSlot> pods_;
     std::size_t rr_cursor_ = 0;
     /** Smooth-WRR round total debited by the last PickPod (for refunds). */

@@ -1,5 +1,7 @@
 #include "service/federation_testbed.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <string>
 
@@ -8,8 +10,40 @@ namespace catapult::service {
 FederationTestbed::FederationTestbed(Config config)
     : config_(std::move(config)) {
     assert(config_.pod_count >= 1);
-    dispatcher_ = std::make_unique<FederatedDispatcher>(&simulator_,
+    coordinator_ = &simulator_;
+    FederatedDispatcher::ShardBinding binding;
+    if (config_.sharding.enabled) {
+        // Lookahead derivation: a query (or completion) crossing the
+        // pod boundary pays the front-door network transit plus the
+        // pod-edge DMA doorbell/interrupt — the same constants the
+        // in-pod shell models use. The epoch is the smaller hop, so
+        // no message can land inside the epoch that produced it.
+        const Time leg = config_.sharding.front_door_network +
+                         config_.pod.fabric.shell.dma.interrupt_latency;
+        inject_hop_ =
+            config_.sharding.inject_hop > 0 ? config_.sharding.inject_hop
+                                            : leg;
+        completion_hop_ = config_.sharding.completion_hop > 0
+                              ? config_.sharding.completion_hop
+                              : leg;
+        sim::SimulatorGroup::Config group_config;
+        group_config.shards = 1 + config_.pod_count;  // 0 = coordinator
+        group_config.epoch = std::min(inject_hop_, completion_hop_);
+        group_config.parallel = config_.sharding.parallel;
+        group_config.max_threads = config_.sharding.max_threads;
+        group_ = std::make_unique<sim::SimulatorGroup>(group_config);
+        coordinator_ = &group_->shard(0);
+    }
+    dispatcher_ = std::make_unique<FederatedDispatcher>(coordinator_,
                                                         config_.dispatcher);
+    if (group_) {
+        FederatedDispatcher::ShardBinding bind;
+        bind.group = group_.get();
+        bind.coordinator_shard = 0;
+        bind.inject_hop = inject_hop_;
+        bind.completion_hop = completion_hop_;
+        dispatcher_->BindShardGroup(bind);
+    }
     for (int k = 0; k < config_.pod_count; ++k) {
         mgmt::PodContext::Config pod_config = config_.pod;
         pod_config.pod_id = k;
@@ -23,20 +57,73 @@ FederationTestbed::FederationTestbed(Config config)
         if (config_.pod_count > 1) {
             pod_config.service.service_name += "/pod" + std::to_string(k);
         }
+        // Shard layout: pod k's entire stack — fabric, hosts, pool,
+        // health plane — on shard 1 + k; the per-pod seed stream is
+        // untouched, so the pod's internal behavior is mode-invariant.
+        sim::Simulator* pod_sim =
+            group_ ? &group_->shard(1 + k) : &simulator_;
+        pod_config.shard_index = group_ ? 1 + k : -1;
         pods_.push_back(
-            std::make_unique<mgmt::PodContext>(&simulator_,
+            std::make_unique<mgmt::PodContext>(pod_sim,
                                                std::move(pod_config)));
-        dispatcher_->AttachPod(pods_.back().get());
+        if (group_) {
+            dispatcher_->AttachPodShard(pods_.back().get(), 1 + k);
+        } else {
+            dispatcher_->AttachPod(pods_.back().get());
+        }
     }
     SessionFrontEnd::Config fe_config = config_.front_end;
     fe_config.driver_threads = config_.pod.driver_threads;
-    front_end_ = std::make_unique<SessionFrontEnd>(&simulator_,
+    front_end_ = std::make_unique<SessionFrontEnd>(coordinator_,
                                                    dispatcher_.get(),
                                                    fe_config);
 }
 
 void FederationTestbed::ReattachPod(int index,
                                     std::function<void(bool)> on_done) {
+    if (group_) {
+        // The service sequence is pod-local and must run on the pod's
+        // shard; only the final re-admission belongs to the
+        // coordinator. One hop out carries the mgmt-plane command, one
+        // hop back carries the redeploy verdict.
+        const int shard = 1 + index;
+        auto pod_local = [this, index, shard,
+                          on_done = std::move(on_done)]() mutable {
+            mgmt::PodContext& p = this->pod(index);
+            auto pending =
+                std::make_shared<int>(static_cast<int>(p.hosts().size()));
+            auto resume = [this, index, shard,
+                           on_done = std::move(on_done)]() mutable {
+                mgmt::PodContext& ready = this->pod(index);
+                for (int node = 0; node < ready.fabric().node_count();
+                     ++node) {
+                    ready.health_monitor().MarkNodeServiced(node);
+                }
+                ready.pool().ClearRecoveryBacklog();
+                ready.forecaster().ResetForReadmission();
+                ready.pool().Deploy([this, index, shard,
+                                     on_done = std::move(on_done)](
+                                        bool ok) mutable {
+                    group_->Post(
+                        shard, 0,
+                        group_->shard(shard).Now() + completion_hop_,
+                        [this, index, ok,
+                         on_done = std::move(on_done)]() mutable {
+                            if (ok) dispatcher_->ReadmitPod(index);
+                            if (on_done) on_done(ok);
+                        });
+                });
+            };
+            for (host::HostServer* host : p.hosts()) {
+                host->Service([pending, resume]() mutable {
+                    if (--*pending == 0) resume();
+                });
+            }
+        };
+        group_->Post(0, shard, coordinator_->Now() + inject_hop_,
+                     std::move(pod_local));
+        return;
+    }
     mgmt::PodContext& pod = this->pod(index);
     // 1. Field service: every host repaired and power-cycled. The
     //    servicing runs concurrently across the pod's machines; the
@@ -77,17 +164,19 @@ void FederationTestbed::ReattachPod(int index,
 
 bool FederationTestbed::DeployAndSettle() {
     // Pods deploy concurrently: each owns its Mapping Manager, so only
-    // rings within one pod serialize.
-    int pending = pod_count();
-    bool all_ok = true;
+    // rings within one pod serialize. Atomics because in sharded
+    // parallel mode each pod's completion fires on its shard's worker
+    // thread; the values are only read after Run() returns.
+    std::atomic<int> pending{pod_count()};
+    std::atomic<bool> all_ok{true};
     for (auto& pod : pods_) {
         pod->Deploy([&](bool ok) {
-            all_ok = all_ok && ok;
-            --pending;
+            if (!ok) all_ok.store(false, std::memory_order_relaxed);
+            pending.fetch_sub(1, std::memory_order_relaxed);
         });
     }
-    simulator_.Run();
-    return all_ok && pending == 0;
+    Run();
+    return all_ok.load() && pending.load() == 0;
 }
 
 }  // namespace catapult::service

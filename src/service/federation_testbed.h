@@ -22,6 +22,7 @@
 #include "service/federated_dispatcher.h"
 #include "service/session_front_end.h"
 #include "sim/simulator.h"
+#include "sim/simulator_group.h"
 
 namespace catapult::service {
 
@@ -44,6 +45,33 @@ class FederationTestbed {
          * pools always index real slot-driver threads.
          */
         SessionFrontEnd::Config front_end;
+
+        /**
+         * Sharded federation runtime. Off (default), every pod shares
+         * the classic single simulator — the reference mode. On, each
+         * pod's whole stack runs on its own SimulatorGroup shard and
+         * the dispatcher/front-end/injector tier runs on a coordinator
+         * shard; cross-pod traffic crosses explicit hop latencies
+         * through deterministic mailboxes. `parallel` additionally
+         * runs the shards on worker threads — bit-identical to the
+         * lock-step sharded execution by construction.
+         */
+        struct Sharding {
+            bool enabled = false;
+            bool parallel = false;
+            /** Executor cap (0 = hardware concurrency). */
+            int max_threads = 0;
+            /**
+             * Cross-pod hop latencies; 0 derives them from the fabric:
+             * the pod-edge DMA interrupt latency plus the front-door
+             * network transit below. The epoch (lookahead) is the
+             * smaller of the two.
+             */
+            Time inject_hop = 0;
+            Time completion_hop = 0;
+            /** Coordinator <-> pod network leg of a derived hop. */
+            Time front_door_network = Microseconds(7);
+        } sharding;
     };
 
     explicit FederationTestbed(Config config);
@@ -67,7 +95,25 @@ class FederationTestbed {
      */
     void ReattachPod(int index, std::function<void(bool)> on_done);
 
-    sim::Simulator& simulator() { return simulator_; }
+    /**
+     * The simulator the dispatcher/front-end tier runs on: the classic
+     * shared simulator, or the coordinator shard when sharding is on.
+     * Injectors and tests drive this one; in sharded mode use Run() /
+     * RunUntil() below so pod shards advance too.
+     */
+    sim::Simulator& simulator() { return *coordinator_; }
+    /** Non-null when Config::sharding.enabled. */
+    sim::SimulatorGroup* group() { return group_.get(); }
+    bool sharded() const { return group_ != nullptr; }
+
+    /** Mode-dispatched drive: group epochs when sharded, else direct. */
+    std::uint64_t Run() { return group_ ? group_->Run() : simulator_.Run(); }
+    std::uint64_t RunUntil(Time horizon) {
+        return group_ ? group_->RunUntil(horizon)
+                      : simulator_.RunUntil(horizon);
+    }
+    Time Now() const { return coordinator_->Now(); }
+
     int pod_count() const { return static_cast<int>(pods_.size()); }
     mgmt::PodContext& pod(int index) {
         return *pods_[static_cast<std::size_t>(index)];
@@ -79,6 +125,11 @@ class FederationTestbed {
   private:
     Config config_;
     sim::Simulator simulator_;
+    /** Destroyed after pods_/dispatcher_ (declared before them). */
+    std::unique_ptr<sim::SimulatorGroup> group_;
+    sim::Simulator* coordinator_ = nullptr;
+    Time inject_hop_ = 0;
+    Time completion_hop_ = 0;
     std::vector<std::unique_ptr<mgmt::PodContext>> pods_;
     std::unique_ptr<FederatedDispatcher> dispatcher_;
     std::unique_ptr<SessionFrontEnd> front_end_;

@@ -31,6 +31,7 @@ struct ClosedLoopParams {
  */
 template <typename InjectFn>
 LoadResult RunClosedLoop(sim::Simulator* simulator,
+                         sim::SimulatorGroup* group,
                          rank::DocumentGenerator& generator,
                          const ClosedLoopParams& params, InjectFn inject) {
     LoadResult result;
@@ -87,7 +88,11 @@ LoadResult RunClosedLoop(sim::Simulator* simulator,
         simulator->ScheduleAfter(Microseconds(client),
                                  [&, client] { send_next(client); });
     }
-    simulator->Run();
+    if (group) {
+        group->Run();
+    } else {
+        simulator->Run();
+    }
     result.elapsed = last_completion - started;
     return result;
 }
@@ -160,7 +165,7 @@ LoadResult PoolClosedLoopInjector::Run() {
                                   config_.max_retries, config_.single_model,
                                   "pool client"};
     return RunClosedLoop(
-        pool_->simulator(), generator_, params,
+        pool_->simulator(), /*group=*/nullptr, generator_, params,
         [this](int thread, const rank::CompressedRequest& request,
                std::function<void(const ScoreResult&)> on_complete) {
             return pool_->Inject(thread, request, std::move(on_complete));
@@ -182,7 +187,7 @@ LoadResult FederatedClosedLoopInjector::Run() {
                                   config_.max_retries, config_.single_model,
                                   "federated client"};
     return RunClosedLoop(
-        simulator_, generator_, params,
+        simulator_, group_, generator_, params,
         [this](int thread, const rank::CompressedRequest& request,
                std::function<void(const ScoreResult&)> on_complete) {
             return dispatcher_->Inject(thread, request,
@@ -206,38 +211,58 @@ LoadResult FederatedOpenLoopInjector::Run() {
     arrival_seq_ = 0;
     deadline_ = simulator_->Now() + config_.duration;
     ScheduleArrival();
-    simulator_->Run();
+    if (group_) {
+        group_->Run();
+    } else {
+        simulator_->Run();
+    }
     result_.elapsed = config_.duration;
     return result_;
 }
 
+void FederatedOpenLoopInjector::InjectArrival() {
+    rank::CompressedRequest request = generator_.Next();
+    if (config_.single_model) request.query.model_id = 0;
+    const int thread = arrival_seq_++ % config_.driver_threads;
+    const auto status = dispatcher_->Inject(
+        thread, request, [this](const ScoreResult& result) {
+            if (result.ok) {
+                ++result_.completed;
+                result_.latency_us.Add(ToMicroseconds(result.latency));
+            } else {
+                ++result_.timeouts;
+            }
+        });
+    if (status != host::SendStatus::kOk) {
+        // Open loop: an arrival the admission control refuses is
+        // answered now and dropped, never queued client-side.
+        ++result_.rejected;
+    }
+}
+
 void FederatedOpenLoopInjector::ScheduleArrival() {
     if (config_.rate_qps <= 0.0) return;
-    const double gap_s = config_.poisson
-                             ? rng_.Exponential(1.0 / config_.rate_qps)
-                             : 1.0 / config_.rate_qps;
-    const Time at = simulator_->Now() + static_cast<Time>(gap_s * 1e12);
-    if (at >= deadline_) return;  // injection window closed
-    simulator_->ScheduleAt(at, [this] {
-        rank::CompressedRequest request = generator_.Next();
-        if (config_.single_model) request.query.model_id = 0;
-        const int thread = arrival_seq_++ % config_.driver_threads;
-        const auto status = dispatcher_->Inject(
-            thread, request, [this](const ScoreResult& result) {
-                if (result.ok) {
-                    ++result_.completed;
-                    result_.latency_us.Add(ToMicroseconds(result.latency));
-                } else {
-                    ++result_.timeouts;
-                }
-            });
-        if (status != host::SendStatus::kOk) {
-            // Open loop: an arrival the admission control refuses is
-            // answered now and dropped, never queued client-side.
-            ++result_.rejected;
-        }
-        ScheduleArrival();
-    });
+    // Draw `arrival_batch` interarrival gaps at once and schedule each
+    // arrival at its exact cumulative time; the last arrival of the
+    // batch chains the next draw. Gaps are drawn in arrival order, so
+    // the RNG stream, the arrival times and the injected sequence are
+    // identical for every batch size — only the chain-bookkeeping
+    // event traffic shrinks. batch = 1 is exactly the classic
+    // one-pending self-chain.
+    const int batch = std::max(1, config_.arrival_batch);
+    Time at = simulator_->Now();
+    for (int k = 0; k < batch; ++k) {
+        const double gap_s = config_.poisson
+                                 ? rng_.Exponential(1.0 / config_.rate_qps)
+                                 : 1.0 / config_.rate_qps;
+        at += static_cast<Time>(gap_s * 1e12);
+        if (at >= deadline_) return;  // injection window closed
+        const bool chains = k == batch - 1;
+        simulator_->ScheduleAt(at, [this, chains] {
+            InjectArrival();
+            if (chains) ScheduleArrival();
+        });
+    }
 }
 
 FederatedPhasedInjector::FederatedPhasedInjector(
@@ -278,50 +303,84 @@ FederatedPhasedInjector::Result FederatedPhasedInjector::Run() {
     const Time beat = static_cast<Time>(1e12 / config_.rate_qps);
     const std::uint64_t arrivals =
         static_cast<std::uint64_t>(config_.duration / beat);
-    for (std::uint64_t i = 0; i < arrivals; ++i) {
-        simulator_->ScheduleAt(load_start_ + beat * static_cast<Time>(i),
-                               [this] {
-            Phase& arrival_phase =
-                result_.phases[static_cast<std::size_t>(
-                    PhaseOf(simulator_->Now()))];
-            ++arrival_phase.arrivals;
-            rank::CompressedRequest request = generator_.Next();
-            if (config_.single_model) request.query.model_id = 0;
-            const int thread = arrival_seq_++ % config_.driver_threads;
-            const auto status = dispatcher_->Inject(
-                thread, request, [this](const ScoreResult& r) {
-                    // Attribute the completion to the phase it *lands*
-                    // in: that is what retained-QPS-across-an-incident
-                    // means (a query delayed across a fault boundary
-                    // counts against the incident phase).
-                    const std::size_t at = std::min(
-                        static_cast<std::size_t>(
-                            PhaseOf(simulator_->Now())),
-                        result_.phases.size() - 1);
-                    Phase& phase = result_.phases[at];
-                    if (r.ok) {
-                        ++phase.completed;
-                        ++result_.completed;
-                        if (config_.slo == 0 || r.latency <= config_.slo) {
-                            ++phase.completed_in_slo;
-                        }
-                        phase.latency_us.Add(ToMicroseconds(r.latency));
-                    } else {
-                        ++phase.failed;
-                        ++result_.failed;
-                    }
-                });
-            if (status == host::SendStatus::kOk) {
-                ++arrival_phase.accepted;
-                ++result_.accepted;
+    if (config_.arrival_batch > 1) {
+        // Batch-leader chain: the pending queue holds one batch of
+        // near-horizon beats instead of the whole run's arrivals, so
+        // the far-horizon wheel/overflow churn of pre-scheduling
+        // disappears. Arrival times are beat-exact either way.
+        ScheduleBatchFrom(0, arrivals, beat);
+    } else {
+        for (std::uint64_t i = 0; i < arrivals; ++i) {
+            simulator_->ScheduleAt(load_start_ + beat * static_cast<Time>(i),
+                                   [this] { InjectArrival(); });
+        }
+    }
+    if (group_) {
+        group_->Run();
+    } else {
+        simulator_->Run();
+    }
+    return result_;
+}
+
+void FederatedPhasedInjector::InjectArrival() {
+    Phase& arrival_phase = result_.phases[static_cast<std::size_t>(
+        PhaseOf(simulator_->Now()))];
+    ++arrival_phase.arrivals;
+    rank::CompressedRequest request = generator_.Next();
+    if (config_.single_model) request.query.model_id = 0;
+    const int thread = arrival_seq_++ % config_.driver_threads;
+    const auto status = dispatcher_->Inject(
+        thread, request, [this](const ScoreResult& r) {
+            // Attribute the completion to the phase it *lands* in: that
+            // is what retained-QPS-across-an-incident means (a query
+            // delayed across a fault boundary counts against the
+            // incident phase).
+            const std::size_t at = std::min(
+                static_cast<std::size_t>(PhaseOf(simulator_->Now())),
+                result_.phases.size() - 1);
+            Phase& phase = result_.phases[at];
+            if (r.ok) {
+                ++phase.completed;
+                ++result_.completed;
+                if (config_.slo == 0 || r.latency <= config_.slo) {
+                    ++phase.completed_in_slo;
+                }
+                phase.latency_us.Add(ToMicroseconds(r.latency));
             } else {
-                ++arrival_phase.rejected;
-                ++result_.rejected;
+                ++phase.failed;
+                ++result_.failed;
             }
         });
+    if (status == host::SendStatus::kOk) {
+        ++arrival_phase.accepted;
+        ++result_.accepted;
+    } else {
+        ++arrival_phase.rejected;
+        ++result_.rejected;
     }
-    simulator_->Run();
-    return result_;
+}
+
+void FederatedPhasedInjector::ScheduleBatchFrom(std::uint64_t index,
+                                                std::uint64_t total,
+                                                Time beat) {
+    if (index >= total) return;
+    simulator_->ScheduleAt(
+        load_start_ + beat * static_cast<Time>(index),
+        [this, index, total, beat] {
+            // The leader is its own batch's first arrival; it schedules
+            // only the rest of its batch plus the next leader.
+            InjectArrival();
+            const auto batch = static_cast<std::uint64_t>(
+                std::max(1, config_.arrival_batch));
+            const std::uint64_t last = std::min(index + batch, total);
+            for (std::uint64_t i = index + 1; i < last; ++i) {
+                simulator_->ScheduleAt(
+                    load_start_ + beat * static_cast<Time>(i),
+                    [this] { InjectArrival(); });
+            }
+            ScheduleBatchFrom(last, total, beat);
+        });
 }
 
 OpenLoopInjector::OpenLoopInjector(RankingService* service, Rng rng,

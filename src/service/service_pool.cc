@@ -116,6 +116,7 @@ void ServicePool::Deploy(std::function<void(bool)> on_done) {
             },
             [this, k, all_ok, remaining, done](bool ok) {
                 rings_[static_cast<std::size_t>(k)].available = ok;
+                NotifyRingsAvailableChanged();
                 *all_ok = *all_ok && ok;
                 if (--*remaining == 0 && *done) (*done)(*all_ok);
             });
@@ -243,6 +244,7 @@ void ServicePool::RecoverRing(int ring_id, int failed_ring_index,
     // document to the surviving rings; in-flight documents on the
     // broken ring surface as timeouts through the normal §3.2 path.
     slot.available = false;
+    NotifyRingsAvailableChanged();
     ++counters_.recoveries;
     LOG_INFO("service_pool")
         << name() << ": ring " << ring_id
@@ -269,6 +271,7 @@ void ServicePool::RecoverRing(int ring_id, int failed_ring_index,
             if (ok) {
                 RingSlot& recovered = rings_[static_cast<std::size_t>(ring_id)];
                 recovered.available = true;
+                NotifyRingsAvailableChanged();
                 recovered.ever_recovered = true;
                 recovered.last_recovery_done = simulator_->Now();
                 LOG_INFO("service_pool") << name() << ": ring "
@@ -435,6 +438,13 @@ void ServicePool::ClearRecoveryBacklog() {
 
 void ServicePool::SetRingAvailable(int ring_id, bool available) {
     rings_[static_cast<std::size_t>(ring_id)].available = available;
+    NotifyRingsAvailableChanged();
+}
+
+void ServicePool::NotifyRingsAvailableChanged() {
+    if (on_rings_available_changed_) {
+        on_rings_available_changed_(available_rings());
+    }
 }
 
 RankingService::Counters ServicePool::AggregateRingCounters() const {

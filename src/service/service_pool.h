@@ -148,6 +148,16 @@ class ServicePool {
     void set_on_ring_recovered(std::function<void(int)> cb) {
         on_ring_recovered_ = std::move(cb);
     }
+    /**
+     * Fires with available_rings() after every rotation change (deploy
+     * completion, drain, recovery rejoin, manual flip). The sharded
+     * federation dispatcher mirrors the pod's capacity on its
+     * coordinator shard through this — it cannot poll the pool
+     * synchronously across the shard boundary.
+     */
+    void set_on_rings_available_changed(std::function<void(int)> cb) {
+        on_rings_available_changed_ = std::move(cb);
+    }
 
     /**
      * Pod re-admission support: forget deferred health reports and
@@ -245,6 +255,7 @@ class ServicePool {
     void EnqueueDeployment(std::function<void(std::function<void(bool)>)> op,
                            std::function<void(bool)> on_done);
     void PumpDeployments();
+    void NotifyRingsAvailableChanged();
 
     const std::string& name() const { return config_.ring.service_name; }
 
@@ -261,6 +272,7 @@ class ServicePool {
     bool deployment_in_flight_ = false;
     std::function<void(int)> on_ring_drained_;
     std::function<void(int)> on_ring_recovered_;
+    std::function<void(int)> on_rings_available_changed_;
     Counters counters_;
 };
 

@@ -46,6 +46,8 @@ inline void ClearBit(std::uint64_t* words, std::uint64_t index) {
 
 std::uint64_t GlobalEventsFired() { return t_events_fired; }
 
+void AdoptEventsFired(std::uint64_t n) { t_events_fired += n; }
+
 std::uint32_t Simulator::AcquireSlot(bool daemon) {
     std::uint32_t slot;
     if (!free_slots_.empty()) {
@@ -323,6 +325,33 @@ std::uint64_t Simulator::RunUntil(Time horizon) {
     }
     if (now_ < horizon) now_ = horizon;
     return fired;
+}
+
+std::uint64_t Simulator::RunUntilBefore(Time bound) {
+    std::uint64_t fired = 0;
+    Event event;
+    while (PopNext(event)) {
+        if (event.when >= bound) {
+            // Put it back with its original sequence number; it fires in
+            // the next epoch, after the barrier drain.
+            Insert(std::move(event));
+            break;
+        }
+        FireAndRelease(event);
+        ++fired;
+    }
+    if (now_ < bound) now_ = bound;
+    return fired;
+}
+
+bool Simulator::PeekNextTime(Time* when) {
+    Event event;
+    if (!PopNext(event)) return false;
+    *when = event.when;
+    // Re-insert with the original sequence: ordering and the event's
+    // cancellation handle are untouched.
+    Insert(std::move(event));
+    return true;
 }
 
 }  // namespace catapult::sim

@@ -120,6 +120,23 @@ class Simulator {
     /** Run until the queue is empty or simulated time reaches `horizon`. */
     std::uint64_t RunUntil(Time horizon);
 
+    /**
+     * Run events strictly before `bound` — the half-open epoch primitive
+     * for SimulatorGroup. Events at exactly `bound` stay pending (they
+     * belong to the next epoch, after the barrier has delivered any
+     * cross-shard messages landing at `bound`); the clock is left at
+     * `bound` so barrier-time ScheduleAt(bound, ...) is legal.
+     */
+    std::uint64_t RunUntilBefore(Time bound);
+
+    /**
+     * Time of the earliest pending event, daemons included; false when
+     * the queue is empty. Used for epoch skip-ahead — daemons count
+     * because they schedule foreground work (watchdogs, forecasters),
+     * so jumping past one would change simulation semantics.
+     */
+    bool PeekNextTime(Time* when);
+
     /** Fire at most one event. Returns false when the queue is empty. */
     bool Step();
 
@@ -242,6 +259,15 @@ class Simulator {
  * instance (bench harnesses report events/second from it).
  */
 std::uint64_t GlobalEventsFired();
+
+/**
+ * Fold `n` events fired on another thread into this thread's
+ * GlobalEventsFired() counter. The counter is thread-local (simulation
+ * is single-threaded per shard), so a parallel SimulatorGroup adopts
+ * its worker shards' deltas onto the driving thread once per run —
+ * keeping the bench-harness events/second comparable across modes.
+ */
+void AdoptEventsFired(std::uint64_t n);
 
 /**
  * A clock domain derived from the kernel clock. Converts cycle counts to

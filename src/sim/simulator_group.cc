@@ -1,0 +1,236 @@
+#include "sim/simulator_group.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace catapult::sim {
+
+SimulatorGroup::SimulatorGroup(const Config& config) : config_(config) {
+    assert(config_.shards >= 1);
+    assert(config_.epoch > 0 && "lookahead must be positive");
+    shards_.reserve(static_cast<std::size_t>(config_.shards));
+    for (int i = 0; i < config_.shards; ++i) {
+        shards_.push_back(std::make_unique<Simulator>(config_.shard));
+    }
+    outboxes_.resize(static_cast<std::size_t>(config_.shards));
+    fired_settled_.resize(static_cast<std::size_t>(config_.shards), 0);
+
+    executors_ = 1;
+    if (config_.parallel) {
+        int cap = config_.max_threads > 0
+                      ? config_.max_threads
+                      : static_cast<int>(std::thread::hardware_concurrency());
+        if (cap < 1) cap = 1;
+        executors_ = std::min(cap, config_.shards);
+    }
+    // Executor 0 is the driving thread; spawn the rest. Shard i belongs
+    // to executor i % executors_, so the coordinator (shard 0) always
+    // runs on the driving thread.
+    for (int e = 1; e < executors_; ++e) {
+        workers_.emplace_back([this, e] { WorkerLoop(e); });
+    }
+}
+
+SimulatorGroup::~SimulatorGroup() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& worker : workers_) worker.join();
+    // Outboxes may still hold undelivered messages (teardown with
+    // in-flight traffic); their closures are destroyed, never invoked.
+}
+
+void SimulatorGroup::Post(int from, int to, Time deliver_at, EventFn fn,
+                          EventPriority priority, bool daemon) {
+    assert(from >= 0 && from < shard_count());
+    assert(to >= 0 && to < shard_count());
+    if (!running_) {
+        // Setup/teardown path on the driving thread: apply directly.
+        Simulator& dest = shard(to);
+        if (daemon) {
+            dest.ScheduleDaemonAt(deliver_at, std::move(fn), priority);
+        } else {
+            dest.ScheduleAt(deliver_at, std::move(fn), priority);
+        }
+        return;
+    }
+    assert(deliver_at >= epoch_end_ &&
+           "cross-shard hop shorter than the epoch lookahead");
+    Outbox& box = outboxes_[static_cast<std::size_t>(from)];
+    PostedMsg msg;
+    msg.to = to;
+    msg.deliver_at = deliver_at;
+    msg.priority = priority;
+    msg.seq = box.next_seq++;
+    msg.source = from;
+    msg.daemon = daemon;
+    msg.fn = std::move(fn);
+    box.msgs.push_back(std::move(msg));
+}
+
+bool SimulatorGroup::MinNextEventTime(Time* when) {
+    bool any = false;
+    Time best = 0;
+    for (auto& shard : shards_) {
+        Time t;
+        if (shard->PeekNextTime(&t) && (!any || t < best)) {
+            any = true;
+            best = t;
+        }
+    }
+    if (any) *when = best;
+    return any;
+}
+
+bool SimulatorGroup::AllShardsForegroundEmpty() const {
+    for (const auto& shard : shards_) {
+        if (!shard->Empty()) return false;
+    }
+    return true;
+}
+
+void SimulatorGroup::DrainMailboxes() {
+    drain_scratch_.clear();
+    for (auto& box : outboxes_) {
+        for (auto& msg : box.msgs) drain_scratch_.push_back(std::move(msg));
+        box.msgs.clear();
+    }
+    // Canonical delivery order. Destination-shard sequence numbers are
+    // assigned in this order, so same-(time, priority) ties inside a
+    // shard resolve identically no matter which thread produced them.
+    std::sort(drain_scratch_.begin(), drain_scratch_.end(),
+              [](const PostedMsg& a, const PostedMsg& b) {
+                  if (a.deliver_at != b.deliver_at)
+                      return a.deliver_at < b.deliver_at;
+                  if (a.priority != b.priority) return a.priority < b.priority;
+                  if (a.source != b.source) return a.source < b.source;
+                  return a.seq < b.seq;
+              });
+    for (auto& msg : drain_scratch_) {
+        Simulator& dest = shard(msg.to);
+        if (msg.daemon) {
+            dest.ScheduleDaemonAt(msg.deliver_at, std::move(msg.fn),
+                                  msg.priority);
+        } else {
+            dest.ScheduleAt(msg.deliver_at, std::move(msg.fn), msg.priority);
+        }
+    }
+    drain_scratch_.clear();
+}
+
+void SimulatorGroup::RunShardRange(int executor, Time bound, bool inclusive) {
+    for (int i = executor; i < shard_count(); i += executors_) {
+        Simulator& s = shard(i);
+        if (inclusive) {
+            s.RunUntil(bound);
+        } else {
+            s.RunUntilBefore(bound);
+        }
+    }
+}
+
+void SimulatorGroup::RunEpochAllShards(Time bound, bool inclusive) {
+    epoch_end_ = bound;
+    if (executors_ == 1) {
+        // Lock-step reference mode: shard-id order on the driving thread.
+        RunShardRange(0, bound, inclusive);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        epoch_bound_ = bound;
+        epoch_inclusive_ = inclusive;
+        remaining_ = executors_ - 1;
+        ++generation_;
+    }
+    cv_work_.notify_all();
+    RunShardRange(0, bound, inclusive);
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [this] { return remaining_ == 0; });
+}
+
+void SimulatorGroup::WorkerLoop(int executor) {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        Time bound;
+        bool inclusive;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_work_.wait(lock, [this, seen_generation] {
+                return shutdown_ || generation_ != seen_generation;
+            });
+            if (shutdown_) return;
+            seen_generation = generation_;
+            bound = epoch_bound_;
+            inclusive = epoch_inclusive_;
+        }
+        RunShardRange(executor, bound, inclusive);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --remaining_;
+        }
+        cv_done_.notify_one();
+    }
+}
+
+std::uint64_t SimulatorGroup::SettleEventsFired() {
+    std::uint64_t total = 0;
+    for (int i = 0; i < shard_count(); ++i) {
+        const std::uint64_t fired = shard(i).EventsFired();
+        const std::uint64_t delta =
+            fired - fired_settled_[static_cast<std::size_t>(i)];
+        total += delta;
+        fired_settled_[static_cast<std::size_t>(i)] = fired;
+        // Worker-shard events hit the workers' thread-local counters;
+        // fold them into the driving thread's so GlobalEventsFired()
+        // (the bench reporter) stays a whole-simulation count. Shards
+        // owned by executor 0 already counted on this thread.
+        if (executors_ > 1 && i % executors_ != 0) AdoptEventsFired(delta);
+    }
+    return total;
+}
+
+std::uint64_t SimulatorGroup::Run() {
+    running_ = true;
+    for (;;) {
+        if (AllShardsForegroundEmpty()) break;
+        Time next;
+        if (!MinNextEventTime(&next)) break;
+        const Time start = std::max(now_, next);
+        const Time end = start + config_.epoch;
+        RunEpochAllShards(end, /*inclusive=*/false);
+        DrainMailboxes();
+        now_ = end;
+    }
+    running_ = false;
+    return SettleEventsFired();
+}
+
+std::uint64_t SimulatorGroup::RunUntil(Time horizon) {
+    running_ = true;
+    while (now_ < horizon) {
+        Time next;
+        Time start = now_;
+        if (MinNextEventTime(&next)) start = std::max(now_, next);
+        if (start + config_.epoch >= horizon || start >= horizon) {
+            // Final epoch: inclusive at the horizon, like
+            // Simulator::RunUntil. Safe because any message deliverable
+            // at or before `horizon` was posted in an earlier epoch and
+            // already drained at its barrier.
+            RunEpochAllShards(horizon, /*inclusive=*/true);
+            DrainMailboxes();
+            now_ = horizon;
+            break;
+        }
+        const Time end = start + config_.epoch;
+        RunEpochAllShards(end, /*inclusive=*/false);
+        DrainMailboxes();
+        now_ = end;
+    }
+    running_ = false;
+    return SettleEventsFired();
+}
+
+}  // namespace catapult::sim

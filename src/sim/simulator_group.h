@@ -1,0 +1,164 @@
+// Conservative parallel discrete-event runtime: one Simulator shard per
+// partition (pod), advanced in lock-step epochs and coupled through
+// deterministic cross-shard mailboxes.
+//
+// The federation only interacts across pods through the dispatcher /
+// front-door layer, and every such interaction carries a real latency
+// (PCIe DMA interrupt + front-door network). That latency is the
+// lookahead W of classic Chandy-Misra null-message synchronization: if
+// every cross-shard message posted at time t delivers at t + hop with
+// hop >= W, then running all shards independently over the half-open
+// epoch [S, S+W) can never miss an incoming message — anything posted
+// during the epoch lands at or after the barrier S+W.
+//
+// Determinism contract: at each barrier, all posted messages are sorted
+// globally by (deliver_time, priority, source_shard, source_sequence)
+// and scheduled onto their destination shards in that order. Destination
+// sequence numbers — the final tie-breaker inside a shard's event queue
+// — are therefore assigned canonically, independent of thread timing.
+// Lock-step (single-thread) and parallel execution of the same group
+// run the identical algorithm over identical barriers and are
+// bit-identical; the differential federation test pins this.
+//
+// Mailboxes are single-writer: outbox[s] is appended only by the thread
+// executing shard s during an epoch and drained only by the driving
+// thread at the barrier, so no locks are taken on the message path. The
+// epoch barrier itself is a generation-counted mutex/condvar barrier.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace catapult::sim {
+
+class SimulatorGroup {
+  public:
+    struct Config {
+        /** Number of shards (>= 1). Shard 0 is the coordinator by convention. */
+        int shards = 1;
+        /**
+         * Epoch width = lookahead: the minimum cross-shard hop latency.
+         * Every Post() made while running must deliver at or after the
+         * current epoch's end (asserted).
+         */
+        Time epoch = 0;
+        /**
+         * Run epochs on worker threads. Off, shards execute on the
+         * calling thread in shard-id order — same algorithm, same
+         * barriers, bit-identical results.
+         */
+        bool parallel = false;
+        /**
+         * Executor cap in parallel mode; 0 means hardware_concurrency.
+         * Values above `shards` are clamped. Tests pin this > 1 to
+         * force real threads even on single-core CI runners.
+         */
+        int max_threads = 0;
+        /** Queue kind etc. for every shard. */
+        SimulatorConfig shard;
+    };
+
+    explicit SimulatorGroup(const Config& config);
+    ~SimulatorGroup();
+
+    SimulatorGroup(const SimulatorGroup&) = delete;
+    SimulatorGroup& operator=(const SimulatorGroup&) = delete;
+
+    int shard_count() const { return static_cast<int>(shards_.size()); }
+    Simulator& shard(int i) { return *shards_[static_cast<std::size_t>(i)]; }
+    Time epoch() const { return config_.epoch; }
+    /** Number of executors actually used (1 in lock-step mode). */
+    int executors() const { return executors_; }
+
+    /** Group time: the end of the last completed epoch. */
+    Time Now() const { return now_; }
+
+    /**
+     * Post a cross-shard message: run `fn` on shard `to` at
+     * `deliver_at`. Must be called from the context executing shard
+     * `from` (or from the driving thread outside Run). While running,
+     * `deliver_at` must be at or after the current epoch's end — i.e.
+     * the hop that produced it must be >= the epoch width. Daemon
+     * messages (periodic telemetry) do not keep Run() alive.
+     */
+    void Post(int from, int to, Time deliver_at, EventFn fn,
+              EventPriority priority = EventPriority::kDeliver,
+              bool daemon = false);
+
+    /**
+     * Run epochs until every shard is foreground-empty and no messages
+     * are in flight. Daemon events stay pending, as with
+     * Simulator::Run. Returns total events fired across shards.
+     */
+    std::uint64_t Run();
+
+    /**
+     * Run epochs until group time reaches `horizon`. The final epoch is
+     * inclusive (events at exactly `horizon` fire), matching
+     * Simulator::RunUntil.
+     */
+    std::uint64_t RunUntil(Time horizon);
+
+  private:
+    struct PostedMsg {
+        int to;
+        Time deliver_at;
+        EventPriority priority;
+        std::uint64_t seq;  ///< Per-source-shard counter.
+        int source;
+        bool daemon;
+        EventFn fn;
+    };
+
+    /** Per-source mailbox; written only by the shard's executor. */
+    struct Outbox {
+        std::vector<PostedMsg> msgs;
+        std::uint64_t next_seq = 0;
+    };
+
+    /** Earliest pending event over all shards, daemons included. */
+    bool MinNextEventTime(Time* when);
+    bool AllShardsForegroundEmpty() const;
+    /** Sort all outboxes canonically and schedule onto destinations. */
+    void DrainMailboxes();
+    /** Run one epoch on every shard; `inclusive` only for the final RunUntil epoch. */
+    void RunEpochAllShards(Time bound, bool inclusive);
+    void RunShardRange(int executor, Time bound, bool inclusive);
+    /** Sum shard EventsFired deltas; adopt worker-shard deltas into TLS. */
+    std::uint64_t SettleEventsFired();
+    void WorkerLoop(int executor);
+
+    Config config_;
+    int executors_ = 1;
+    std::vector<std::unique_ptr<Simulator>> shards_;
+    std::vector<Outbox> outboxes_;
+    std::vector<PostedMsg> drain_scratch_;
+    /** Per-shard EventsFired already folded into the return/TLS counters. */
+    std::vector<std::uint64_t> fired_settled_;
+
+    Time now_ = 0;
+    bool running_ = false;
+    Time epoch_end_ = 0;  ///< End of the epoch currently executing.
+
+    // Parallel-mode barrier state, guarded by mu_. Workers exist only
+    // when config_.parallel and executors_ > 1.
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable cv_work_;
+    std::condition_variable cv_done_;
+    std::uint64_t generation_ = 0;
+    int remaining_ = 0;
+    Time epoch_bound_ = 0;
+    bool epoch_inclusive_ = false;
+    bool shutdown_ = false;
+};
+
+}  // namespace catapult::sim
