@@ -8,11 +8,65 @@
 // than 250 us."
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "bench_util.h"
+#include "rank/document_generator.h"
 #include "rank/model.h"
+#include "service/testbed.h"
 
 using namespace catapult;
+
+namespace {
+
+/**
+ * Closed-loop query mix over `model_count` models on a deployed ring;
+ * returns throughput and the reload count the mix induced. The Queue
+ * Manager batches per-model queues, so fewer models means fewer
+ * reloads and higher throughput — the §4.3 locality effect.
+ */
+double RunMix(service::PodTestbed& bed, int model_count, int docs,
+              std::uint64_t& reloads) {
+    rank::DocumentGenerator::Config corpus;
+    corpus.model_count = static_cast<std::uint32_t>(model_count);
+    rank::DocumentGenerator generator(91, corpus);
+    const std::uint64_t reloads_before =
+        bed.service().counters().model_reloads;
+    const Time start = bed.simulator().Now();
+    int completed = 0, sent = 0, outstanding = 0;
+    std::vector<bool> busy(32, false);
+    std::function<void()> pump = [&] {
+        while (outstanding < 32 && sent < docs) {
+            int thread = -1;
+            for (int t = 0; t < 32; ++t) {
+                if (!busy[static_cast<std::size_t>(t)]) {
+                    thread = t;
+                    break;
+                }
+            }
+            if (thread < 0) return;
+            ++sent;
+            ++outstanding;
+            busy[static_cast<std::size_t>(thread)] = true;
+            bed.service().Inject(0, thread, generator.Next(),
+                                 [&, thread](const service::ScoreResult& r) {
+                                     busy[static_cast<std::size_t>(thread)] =
+                                         false;
+                                     --outstanding;
+                                     if (r.ok) ++completed;
+                                     pump();
+                                 });
+        }
+    };
+    pump();
+    bed.simulator().Run();
+    reloads = bed.service().counters().model_reloads - reloads_before;
+    const double seconds = ToSeconds(bed.simulator().Now() - start);
+    return seconds > 0 ? completed / seconds : 0.0;
+}
+
+}  // namespace
 
 int main() {
     bench::Banner("Model Reload cost: per stage, per model size",
@@ -54,5 +108,24 @@ int main() {
         "worst case; reload is ~an order of magnitude slower than scoring "
         "one document (~10 us) and 4-5 orders faster than full FPGA "
         "reconfiguration (~1 s)].\n");
+
+    // Reload locality under live traffic: the same closed-loop demand
+    // over 1, 2 and 4 models through a deployed ring. More models in
+    // the mix means more per-stage reloads between QM batches and a
+    // visible throughput cost — all on simulated time.
+    service::PodTestbed bed(bench::RingBenchConfig());
+    if (!bed.DeployAndSettle()) {
+        std::printf("\nERROR: ring deploy failed\n");
+        return 1;
+    }
+    std::printf("\nClosed-loop mix (400 docs, 32 threads) vs model count:\n");
+    bench::Row({"models", "reloads", "docs_per_sec"});
+    for (const int models : {1, 2, 4}) {
+        std::uint64_t reloads = 0;
+        const double qps = RunMix(bed, models, 400, reloads);
+        bench::Row({bench::FmtInt(models),
+                    bench::FmtInt(static_cast<long long>(reloads)),
+                    bench::Fmt(qps, 0)});
+    }
     return 0;
 }

@@ -13,10 +13,12 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "sim/simulator.h"
+#include "sim/simulator_group.h"
 
 namespace catapult {
 namespace {
@@ -143,6 +145,76 @@ const char* KindName(SimulatorConfig::QueueKind kind) {
                                                             : "heap";
 }
 
+/**
+ * SimulatorGroup sweep: self-sustaining churn on every shard where a
+ * slice of fired events crosses a shard boundary through the mailbox
+ * at the edge's lookahead. Isolates the cost of rounds, bound
+ * computation and canonical drains as shard count, lookahead width and
+ * cross-shard traffic ratio vary — in lock-step and on the
+ * work-stealing executor pool.
+ */
+Outcome RunGroupScenario(int shards, Time lookahead, int mailbox_pct,
+                         bool parallel, Time horizon) {
+    sim::SimulatorGroup::Config config;
+    config.shards = shards;
+    config.epoch = lookahead;
+    config.parallel = parallel;
+    config.max_threads = shards;
+    sim::SimulatorGroup group(config);
+
+    struct ShardState {
+        Lcg rng;
+        std::function<void()> pump;
+    };
+    std::vector<ShardState> state(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+        ShardState& st = state[static_cast<std::size_t>(s)];
+        st.rng.state ^=
+            0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(s + 1);
+        // Each firing continues exactly one pump: locally after a short
+        // draw, or on the ring-neighbour shard one lookahead out. Every
+        // shard touches only its own state, so the parallel run is
+        // race-free by construction.
+        st.pump = [&group, &state, s, shards, mailbox_pct, lookahead] {
+            ShardState& self = state[static_cast<std::size_t>(s)];
+            if (static_cast<int>(self.rng.Next() % 100) < mailbox_pct) {
+                const int to = (s + 1) % shards;
+                group.Post(s, to, group.shard(s).Now() + lookahead,
+                           [&state, to] {
+                               state[static_cast<std::size_t>(to)].pump();
+                           });
+            } else {
+                group.shard(s).ScheduleAfter(
+                    Microseconds(
+                        static_cast<Time>(self.rng.Next() % 10)),
+                    [&state, s] {
+                        state[static_cast<std::size_t>(s)].pump();
+                    });
+            }
+        };
+        for (int i = 0; i < 64; ++i) {
+            group.shard(s).ScheduleAfter(
+                Microseconds(static_cast<Time>(st.rng.Next() % 10)),
+                [&state, s] {
+                    state[static_cast<std::size_t>(s)].pump();
+                });
+        }
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t fired = group.RunUntil(horizon);
+    const auto end = std::chrono::steady_clock::now();
+
+    Outcome out;
+    out.events = fired;
+    out.wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    out.events_per_sec =
+        out.wall_ms > 0.0 ? static_cast<double>(fired) / (out.wall_ms / 1e3)
+                          : 0.0;
+    return out;
+}
+
 }  // namespace
 }  // namespace catapult
 
@@ -193,6 +265,38 @@ int main() {
                     bench::Fmt(out.wall_ms, 1),
                     bench::FmtInt(
                         static_cast<long long>(out.events_per_sec))});
+    }
+
+    // Sharded-runtime sweep. On a single hardware core the parallel
+    // column reports executor-pool overhead, not speedup — the
+    // differential tests guarantee both columns simulate identically.
+    std::printf(
+        "\nSimulatorGroup sweep (10 ms simulated horizon, cores=%u):\n",
+        std::thread::hardware_concurrency());
+    bench::Row({"shards", "lookahead_us", "mailbox_pct", "events",
+                "lockstep_ev_s", "parallel_ev_s"});
+    const Time horizon = Milliseconds(10);
+    for (const int shards : {2, 8}) {
+        for (const Time lookahead : {Microseconds(5), Microseconds(50)}) {
+            for (const int mailbox : {0, 10, 50}) {
+                const Outcome lockstep = RunGroupScenario(
+                    shards, lookahead, mailbox, /*parallel=*/false,
+                    horizon);
+                const Outcome threaded = RunGroupScenario(
+                    shards, lookahead, mailbox, /*parallel=*/true,
+                    horizon);
+                bench::Row(
+                    {bench::FmtInt(shards),
+                     bench::FmtInt(static_cast<long long>(
+                         ToMicroseconds(lookahead))),
+                     bench::FmtInt(mailbox),
+                     bench::FmtInt(static_cast<long long>(lockstep.events)),
+                     bench::FmtInt(static_cast<long long>(
+                         lockstep.events_per_sec)),
+                     bench::FmtInt(static_cast<long long>(
+                         threaded.events_per_sec))});
+            }
+        }
     }
     return 0;
 }

@@ -10,7 +10,15 @@ namespace catapult::service {
 FederationTestbed::FederationTestbed(Config config)
     : config_(std::move(config)) {
     assert(config_.pod_count >= 1);
+    assert(!config_.sharding.ring_subshards || config_.sharding.enabled);
     coordinator_ = &simulator_;
+    if (config_.sharding.enabled && config_.sharding.ring_subshards) {
+        // Each ring slice is a 1 x cols torus strip, so a full ring
+        // must fit along the column dimension.
+        assert(config_.pod.fabric.topology.cols() >=
+               RankingService::kRingLength);
+        slices_per_pod_ = std::max(1, config_.pod.ring_count);
+    }
     FederatedDispatcher::ShardBinding binding;
     if (config_.sharding.enabled) {
         // Lookahead derivation: a query (or completion) crossing the
@@ -27,7 +35,9 @@ FederationTestbed::FederationTestbed(Config config)
                               ? config_.sharding.completion_hop
                               : leg;
         sim::SimulatorGroup::Config group_config;
-        group_config.shards = 1 + config_.pod_count;  // 0 = coordinator
+        // Shard 0 = coordinator; pod k's slices (the whole pod when
+        // ring_subshards is off) follow pod-major, slice-minor.
+        group_config.shards = 1 + config_.pod_count * slices_per_pod_;
         group_config.epoch = std::min(inject_hop_, completion_hop_);
         group_config.parallel = config_.sharding.parallel;
         group_config.max_threads = config_.sharding.max_threads;
@@ -45,6 +55,10 @@ FederationTestbed::FederationTestbed(Config config)
         dispatcher_->BindShardGroup(bind);
     }
     for (int k = 0; k < config_.pod_count; ++k) {
+        if (slices_per_pod_ > 1) {
+            BuildPodSlices(k);
+            continue;
+        }
         mgmt::PodContext::Config pod_config = config_.pod;
         pod_config.pod_id = k;
         if (k > 0) {
@@ -79,8 +93,122 @@ FederationTestbed::FederationTestbed(Config config)
                                                    fe_config);
 }
 
+void FederationTestbed::BuildPodSlices(int pod_index) {
+    // Ring sub-shards: pod `pod_index` splits into R self-contained
+    // single-ring slices, each a 1 x cols torus strip on its own group
+    // shard. Identity is pinned per slice — node base, name prefix,
+    // host names, trace-id stride — so the R slices present as one pod
+    // (same pod id on telemetry and reports, slice-local node ids
+    // remapped into pod node space by the dispatcher's seams) without
+    // any layer's names or ids colliding.
+    const int R = slices_per_pod_;
+    const int cols = config_.pod.fabric.topology.cols();
+    const int pod_nodes = config_.pod.fabric.topology.node_count();
+    std::vector<FederatedDispatcher::PodSlice> slices;
+    for (int r = 0; r < R; ++r) {
+        const int g = pod_index * R + r;  // global slice index
+        const int shard = 1 + g;
+        mgmt::PodContext::Config sc = config_.pod;
+        sc.pod_id = pod_index;
+        sc.ring_count = 1;
+        sc.fabric.topology = fabric::TorusTopology(1, cols);
+        sc.fabric.pod_id = pod_index;
+        sc.fabric.node_base = pod_index * pod_nodes + r * cols;
+        // += chains for the same -Wrestrict reason as PodContext.
+        sc.fabric.name_prefix = "pod";
+        sc.fabric.name_prefix += std::to_string(pod_index);
+        sc.fabric.name_prefix += ".ring";
+        sc.fabric.name_prefix += std::to_string(r);
+        sc.host_name_prefix = "p";
+        sc.host_name_prefix += std::to_string(pod_index);
+        sc.host_name_prefix += ".r";
+        sc.host_name_prefix += std::to_string(r);
+        sc.host_name_prefix += ".srv";
+        // Pod-strided then ring-strided, matching the unsliced pool's
+        // per-ring stride — cross-slice FDR trace ids never collide.
+        sc.service.trace_id_base =
+            (static_cast<std::uint64_t>(pod_index) << 48) |
+            (static_cast<std::uint64_t>(r) << 40);
+        if (g > 0) {
+            // Same golden-ratio stream split as whole-pod mode, keyed
+            // by the global slice index; slice 0 of pod 0 keeps the
+            // template seed.
+            sc.seed = config_.pod.seed +
+                      0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(g);
+        }
+        if (config_.pod_count > 1) {
+            sc.service.service_name += "/pod" + std::to_string(pod_index);
+        }
+        sc.service.service_name += "/ring" + std::to_string(r);
+        sc.shard_index = shard;
+        pods_.push_back(std::make_unique<mgmt::PodContext>(
+            &group_->shard(shard), std::move(sc)));
+        FederatedDispatcher::PodSlice slice;
+        slice.context = pods_.back().get();
+        slice.shard = shard;
+        slice.node_offset = r * cols;
+        slices.push_back(slice);
+    }
+    dispatcher_->AttachPodSlices(slices);
+}
+
 void FederationTestbed::ReattachPod(int index,
                                     std::function<void(bool)> on_done) {
+    if (group_ && slices_per_pod_ > 1) {
+        // Each ring slice runs the full service sequence on its own
+        // shard; the verdicts hop back to the coordinator, whose
+        // canonical drain makes the join state single-writer. Only
+        // when every slice redeployed does the pod re-enter rotation.
+        struct Join {
+            int pending = 0;
+            bool all_ok = true;
+            std::function<void(bool)> on_done;
+        };
+        auto join = std::make_shared<Join>();
+        join->pending = slices_per_pod_;
+        join->on_done = std::move(on_done);
+        for (int r = 0; r < slices_per_pod_; ++r) {
+            const int shard = 1 + index * slices_per_pod_ + r;
+            auto slice_local = [this, index, r, shard, join]() {
+                mgmt::PodContext& p = this->pod_slice(index, r);
+                auto pending = std::make_shared<int>(
+                    static_cast<int>(p.hosts().size()));
+                auto resume = [this, index, r, shard, join]() {
+                    mgmt::PodContext& ready = this->pod_slice(index, r);
+                    for (int node = 0;
+                         node < ready.fabric().node_count(); ++node) {
+                        ready.health_monitor().MarkNodeServiced(node);
+                    }
+                    ready.pool().ClearRecoveryBacklog();
+                    ready.forecaster().ResetForReadmission();
+                    ready.pool().Deploy([this, index, shard,
+                                         join](bool ok) {
+                        group_->Post(
+                            shard, 0,
+                            group_->shard(shard).Now() + completion_hop_,
+                            [this, index, ok, join]() {
+                                if (!ok) join->all_ok = false;
+                                if (--join->pending > 0) return;
+                                if (join->all_ok) {
+                                    dispatcher_->ReadmitPod(index);
+                                }
+                                if (join->on_done) {
+                                    join->on_done(join->all_ok);
+                                }
+                            });
+                    });
+                };
+                for (host::HostServer* host : p.hosts()) {
+                    host->Service([pending, resume]() mutable {
+                        if (--*pending == 0) resume();
+                    });
+                }
+            };
+            group_->Post(0, shard, coordinator_->Now() + inject_hop_,
+                         std::move(slice_local));
+        }
+        return;
+    }
     if (group_) {
         // The service sequence is pod-local and must run on the pod's
         // shard; only the final re-admission belongs to the
@@ -167,7 +295,7 @@ bool FederationTestbed::DeployAndSettle() {
     // rings within one pod serialize. Atomics because in sharded
     // parallel mode each pod's completion fires on its shard's worker
     // thread; the values are only read after Run() returns.
-    std::atomic<int> pending{pod_count()};
+    std::atomic<int> pending{static_cast<int>(pods_.size())};
     std::atomic<bool> all_ok{true};
     for (auto& pod : pods_) {
         pod->Deploy([&](bool ok) {

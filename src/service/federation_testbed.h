@@ -59,6 +59,17 @@ class FederationTestbed {
         struct Sharding {
             bool enabled = false;
             bool parallel = false;
+            /**
+             * Shard *within* each pod: every ring becomes its own
+             * sub-shard — a self-contained single-ring PodContext
+             * slice (1 x cols torus) on its own group shard — attached
+             * through FederatedDispatcher::AttachPodSlices, so a
+             * 1-pod/6-ring workload spreads over 6 shards instead of
+             * serializing on one. Requires `enabled`. pod(k) then
+             * returns slice 0; use pod_slice(k, r) for the rest and
+             * aggregate per-pod metrics across slices.
+             */
+            bool ring_subshards = false;
             /** Executor cap (0 = hardware concurrency). */
             int max_threads = 0;
             /**
@@ -114,15 +125,28 @@ class FederationTestbed {
     }
     Time Now() const { return coordinator_->Now(); }
 
-    int pod_count() const { return static_cast<int>(pods_.size()); }
+    int pod_count() const {
+        return static_cast<int>(pods_.size()) / slices_per_pod_;
+    }
+    /** Pod k's context — slice 0 of it under ring_subshards. */
     mgmt::PodContext& pod(int index) {
-        return *pods_[static_cast<std::size_t>(index)];
+        return *pods_[static_cast<std::size_t>(index * slices_per_pod_)];
+    }
+    /** Ring sub-shard slices per pod (1 unless ring_subshards). */
+    int slices_per_pod() const { return slices_per_pod_; }
+    /** Ring slice r of pod k (ring_subshards mode; r=0 always valid). */
+    mgmt::PodContext& pod_slice(int index, int ring) {
+        return *pods_[static_cast<std::size_t>(index * slices_per_pod_ +
+                                               ring)];
     }
     FederatedDispatcher& dispatcher() { return *dispatcher_; }
     /** The session-oriented scatter-gather door over the dispatcher. */
     SessionFrontEnd& front_end() { return *front_end_; }
 
   private:
+    /** Ring-sub-shard construction of pod `pod_index` (R>1 slices). */
+    void BuildPodSlices(int pod_index);
+
     Config config_;
     sim::Simulator simulator_;
     /** Destroyed after pods_/dispatcher_ (declared before them). */
@@ -130,6 +154,8 @@ class FederationTestbed {
     sim::Simulator* coordinator_ = nullptr;
     Time inject_hop_ = 0;
     Time completion_hop_ = 0;
+    int slices_per_pod_ = 1;
+    /** Pod-major, slice-minor: pod k's slices at [k*R, (k+1)*R). */
     std::vector<std::unique_ptr<mgmt::PodContext>> pods_;
     std::unique_ptr<FederatedDispatcher> dispatcher_;
     std::unique_ptr<SessionFrontEnd> front_end_;

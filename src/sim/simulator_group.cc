@@ -7,13 +7,25 @@ namespace catapult::sim {
 
 SimulatorGroup::SimulatorGroup(const Config& config) : config_(config) {
     assert(config_.shards >= 1);
-    assert(config_.epoch > 0 && "lookahead must be positive");
-    shards_.reserve(static_cast<std::size_t>(config_.shards));
+    assert(config_.epoch > 0 && "default lookahead must be positive");
+    const auto n = static_cast<std::size_t>(config_.shards);
+    shards_.reserve(n);
     for (int i = 0; i < config_.shards; ++i) {
         shards_.push_back(std::make_unique<Simulator>(config_.shard));
     }
-    outboxes_.resize(static_cast<std::size_t>(config_.shards));
-    fired_settled_.resize(static_cast<std::size_t>(config_.shards), 0);
+    outboxes_.resize(n);
+    fired_settled_.resize(n, 0);
+    base_.resize(n, 0);
+    round_end_.resize(n, 0);
+    done_.resize(n, 0);
+    // Undeclared edges default to the uniform lookahead; the diagonal
+    // holds round trips and starts unreachable (no self-edge) so the
+    // closure computes the cheapest actual cycle through other shards.
+    raw_lookahead_.assign(n * n, config_.epoch);
+    for (std::size_t i = 0; i < n; ++i) {
+        raw_lookahead_[i * n + i] = kUnreachable;
+    }
+    closure_.assign(n * n, kUnreachable);
 
     executors_ = 1;
     if (config_.parallel) {
@@ -23,9 +35,9 @@ SimulatorGroup::SimulatorGroup(const Config& config) : config_(config) {
         if (cap < 1) cap = 1;
         executors_ = std::min(cap, config_.shards);
     }
-    // Executor 0 is the driving thread; spawn the rest. Shard i belongs
-    // to executor i % executors_, so the coordinator (shard 0) always
-    // runs on the driving thread.
+    // Executor 0 is the driving thread; spawn the rest. All executors
+    // steal off the shared round work list, so there is no static
+    // shard-to-executor assignment.
     for (int e = 1; e < executors_; ++e) {
         workers_.emplace_back([this, e] { WorkerLoop(e); });
     }
@@ -42,6 +54,66 @@ SimulatorGroup::~SimulatorGroup() {
     // in-flight traffic); their closures are destroyed, never invoked.
 }
 
+Time SimulatorGroup::SatAdd(Time a, Time b) {
+    if (a == kUnreachable || b == kUnreachable) return kUnreachable;
+    if (a > kUnreachable - b) return kUnreachable;
+    return a + b;
+}
+
+bool SimulatorGroup::SetEdgeLookahead(int from, int to, Time lookahead) {
+    assert(from >= 0 && from < shard_count());
+    assert(to >= 0 && to < shard_count());
+    assert(from != to && "self-edges are derived, not declared");
+    assert(lookahead > 0 && "edge lookahead must be positive");
+    Time& raw = raw_lookahead_[static_cast<std::size_t>(from) *
+                                   static_cast<std::size_t>(shard_count()) +
+                               static_cast<std::size_t>(to)];
+    if (lookahead == raw) return true;
+    if (has_run_ && lookahead < raw) {
+        // Bounds already executed under the wider guarantee; honoring a
+        // narrower promise now could deliver into a shard's past.
+        return false;
+    }
+    raw = lookahead;
+    closure_dirty_ = true;
+    return true;
+}
+
+Time SimulatorGroup::edge_lookahead(int from, int to) const {
+    assert(from >= 0 && from < shard_count());
+    assert(to >= 0 && to < shard_count());
+    return raw_lookahead_[static_cast<std::size_t>(from) *
+                              static_cast<std::size_t>(shard_count()) +
+                          static_cast<std::size_t>(to)];
+}
+
+Time SimulatorGroup::path_lookahead(int from, int to) {
+    assert(from >= 0 && from < shard_count());
+    assert(to >= 0 && to < shard_count());
+    RefreshClosure();
+    return closure_at(from, to);
+}
+
+void SimulatorGroup::RefreshClosure() {
+    if (!closure_dirty_) return;
+    closure_ = raw_lookahead_;
+    const auto n = static_cast<std::size_t>(shard_count());
+    for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const Time ik = closure_[i * n + k];
+            if (ik == kUnreachable) continue;
+            for (std::size_t j = 0; j < n; ++j) {
+                const Time kj = closure_[k * n + j];
+                if (kj == kUnreachable) continue;
+                Time& ij = closure_[i * n + j];
+                const Time via = SatAdd(ik, kj);
+                if (via < ij) ij = via;
+            }
+        }
+    }
+    closure_dirty_ = false;
+}
+
 void SimulatorGroup::Post(int from, int to, Time deliver_at, EventFn fn,
                           EventPriority priority, bool daemon) {
     assert(from >= 0 && from < shard_count());
@@ -56,8 +128,8 @@ void SimulatorGroup::Post(int from, int to, Time deliver_at, EventFn fn,
         }
         return;
     }
-    assert(deliver_at >= epoch_end_ &&
-           "cross-shard hop shorter than the epoch lookahead");
+    assert(deliver_at >= round_end_[static_cast<std::size_t>(to)] &&
+           "cross-shard hop shorter than the declared edge lookahead");
     Outbox& box = outboxes_[static_cast<std::size_t>(from)];
     PostedMsg msg;
     msg.to = to;
@@ -68,20 +140,6 @@ void SimulatorGroup::Post(int from, int to, Time deliver_at, EventFn fn,
     msg.daemon = daemon;
     msg.fn = std::move(fn);
     box.msgs.push_back(std::move(msg));
-}
-
-bool SimulatorGroup::MinNextEventTime(Time* when) {
-    bool any = false;
-    Time best = 0;
-    for (auto& shard : shards_) {
-        Time t;
-        if (shard->PeekNextTime(&t) && (!any || t < best)) {
-            any = true;
-            best = t;
-        }
-    }
-    if (any) *when = best;
-    return any;
 }
 
 bool SimulatorGroup::AllShardsForegroundEmpty() const {
@@ -120,42 +178,128 @@ void SimulatorGroup::DrainMailboxes() {
     drain_scratch_.clear();
 }
 
-void SimulatorGroup::RunShardRange(int executor, Time bound, bool inclusive) {
-    for (int i = executor; i < shard_count(); i += executors_) {
-        Simulator& s = shard(i);
-        if (inclusive) {
-            s.RunUntil(bound);
-        } else {
-            s.RunUntilBefore(bound);
+void SimulatorGroup::BeginRun() {
+    RefreshClosure();
+    running_ = true;
+    has_run_ = true;
+    for (int i = 0; i < shard_count(); ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        done_[s] = 0;
+        // A shard's clock is its true frontier between runs: messages
+        // posted directly while stopped may land right at it.
+        round_end_[s] = shards_[s]->Now();
+    }
+}
+
+void SimulatorGroup::BuildRound(Time horizon) {
+    const int n = shard_count();
+    round_items_.clear();
+    for (int i = 0; i < n; ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        Time t;
+        base_[s] =
+            (!done_[s] && shards_[s]->PeekNextTime(&t)) ? t : kUnreachable;
+    }
+    for (int d = 0; d < n; ++d) {
+        const auto sd = static_cast<std::size_t>(d);
+        if (done_[sd]) continue;
+        // Earliest possible arrival into d: some shard s fires an event
+        // no earlier than base(s), and the cheapest chain of hops from
+        // s to d costs closure(s, d). The s == d term covers d's own
+        // activity coming back around a cycle. Bounds are monotone
+        // across rounds: an arrival that lowers a base(s) is itself no
+        // earlier than bound(s), and bound(s) + closure(s, d) >=
+        // bound(d) by the closure's triangle inequality.
+        Time bound = kUnreachable;
+        for (int s = 0; s < n; ++s) {
+            bound = std::min(
+                bound,
+                SatAdd(base_[static_cast<std::size_t>(s)], closure_at(s, d)));
+        }
+        Simulator& sim = *shards_[sd];
+        if (horizon != kUnreachable && bound > horizon) {
+            // Nothing can reach this shard at or before the horizon:
+            // run its inclusive final leg now and release it — laggard
+            // shards no longer gate it.
+            round_items_.push_back({d, horizon, RunKind::kInclusive});
+            done_[sd] = 1;
+            round_end_[sd] = SatAdd(horizon, 1);
+        } else if (bound == kUnreachable) {
+            // No finite path into d exists — were any shard d wakes
+            // able to reach back, the closure round trip would be
+            // finite and so would this bound. Run to completion.
+            round_end_[sd] = kUnreachable;
+            if (!sim.Empty()) {
+                round_items_.push_back({d, kUnreachable, RunKind::kAll});
+            }
+        } else if (bound > sim.Now()) {
+            round_end_[sd] = bound;
+            Time t;
+            if (sim.PeekNextTime(&t) && t < bound) {
+                round_items_.push_back({d, bound, RunKind::kBefore});
+            }
         }
     }
 }
 
-void SimulatorGroup::RunEpochAllShards(Time bound, bool inclusive) {
-    epoch_end_ = bound;
+void SimulatorGroup::RunItem(const RoundItem& item) {
+    Simulator& s = shard(item.shard);
+    switch (item.kind) {
+        case RunKind::kBefore:
+            s.RunUntilBefore(item.bound);
+            break;
+        case RunKind::kInclusive:
+            s.RunUntil(item.bound);
+            break;
+        case RunKind::kAll:
+            s.Run();
+            break;
+    }
+}
+
+void SimulatorGroup::StealLoop(bool adopt_fired) {
+    const int count = static_cast<int>(round_items_.size());
+    for (;;) {
+        const int i = next_item_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        const RoundItem& item = round_items_[static_cast<std::size_t>(i)];
+        if (adopt_fired) {
+            // Events fired on a worker thread land on its thread-local
+            // counter; bank the delta so the driving thread can adopt
+            // it at settle time regardless of who ran which shard.
+            const std::uint64_t before = GlobalEventsFired();
+            RunItem(item);
+            worker_fired_.fetch_add(GlobalEventsFired() - before,
+                                    std::memory_order_relaxed);
+        } else {
+            RunItem(item);
+        }
+    }
+}
+
+void SimulatorGroup::ExecuteRound() {
+    if (round_items_.empty()) return;
     if (executors_ == 1) {
         // Lock-step reference mode: shard-id order on the driving thread.
-        RunShardRange(0, bound, inclusive);
+        for (const RoundItem& item : round_items_) RunItem(item);
         return;
     }
     {
         std::lock_guard<std::mutex> lock(mu_);
-        epoch_bound_ = bound;
-        epoch_inclusive_ = inclusive;
+        next_item_.store(0, std::memory_order_relaxed);
         remaining_ = executors_ - 1;
         ++generation_;
     }
     cv_work_.notify_all();
-    RunShardRange(0, bound, inclusive);
+    StealLoop(/*adopt_fired=*/false);
     std::unique_lock<std::mutex> lock(mu_);
     cv_done_.wait(lock, [this] { return remaining_ == 0; });
 }
 
 void SimulatorGroup::WorkerLoop(int executor) {
+    (void)executor;
     std::uint64_t seen_generation = 0;
     for (;;) {
-        Time bound;
-        bool inclusive;
         {
             std::unique_lock<std::mutex> lock(mu_);
             cv_work_.wait(lock, [this, seen_generation] {
@@ -163,10 +307,8 @@ void SimulatorGroup::WorkerLoop(int executor) {
             });
             if (shutdown_) return;
             seen_generation = generation_;
-            bound = epoch_bound_;
-            inclusive = epoch_inclusive_;
         }
-        RunShardRange(executor, bound, inclusive);
+        StealLoop(/*adopt_fired=*/true);
         {
             std::lock_guard<std::mutex> lock(mu_);
             --remaining_;
@@ -183,53 +325,43 @@ std::uint64_t SimulatorGroup::SettleEventsFired() {
             fired - fired_settled_[static_cast<std::size_t>(i)];
         total += delta;
         fired_settled_[static_cast<std::size_t>(i)] = fired;
-        // Worker-shard events hit the workers' thread-local counters;
-        // fold them into the driving thread's so GlobalEventsFired()
-        // (the bench reporter) stays a whole-simulation count. Shards
-        // owned by executor 0 already counted on this thread.
-        if (executors_ > 1 && i % executors_ != 0) AdoptEventsFired(delta);
     }
+    // Fold worker-thread counters into the driving thread's so
+    // GlobalEventsFired() (the bench reporter) stays a
+    // whole-simulation count.
+    const std::uint64_t stolen =
+        worker_fired_.exchange(0, std::memory_order_relaxed);
+    if (stolen > 0) AdoptEventsFired(stolen);
     return total;
 }
 
 std::uint64_t SimulatorGroup::Run() {
-    running_ = true;
+    BeginRun();
     for (;;) {
         if (AllShardsForegroundEmpty()) break;
-        Time next;
-        if (!MinNextEventTime(&next)) break;
-        const Time start = std::max(now_, next);
-        const Time end = start + config_.epoch;
-        RunEpochAllShards(end, /*inclusive=*/false);
+        BuildRound(/*horizon=*/kUnreachable);
+        // The minimum-base shard always yields an item (its bound
+        // exceeds its next event by at least the cheapest inbound
+        // path), so every round makes progress.
+        assert(!round_items_.empty());
+        ExecuteRound();
         DrainMailboxes();
-        now_ = end;
     }
     running_ = false;
+    for (const auto& s : shards_) now_ = std::max(now_, s->Now());
     return SettleEventsFired();
 }
 
 std::uint64_t SimulatorGroup::RunUntil(Time horizon) {
-    running_ = true;
-    while (now_ < horizon) {
-        Time next;
-        Time start = now_;
-        if (MinNextEventTime(&next)) start = std::max(now_, next);
-        if (start + config_.epoch >= horizon || start >= horizon) {
-            // Final epoch: inclusive at the horizon, like
-            // Simulator::RunUntil. Safe because any message deliverable
-            // at or before `horizon` was posted in an earlier epoch and
-            // already drained at its barrier.
-            RunEpochAllShards(horizon, /*inclusive=*/true);
-            DrainMailboxes();
-            now_ = horizon;
-            break;
-        }
-        const Time end = start + config_.epoch;
-        RunEpochAllShards(end, /*inclusive=*/false);
+    BeginRun();
+    for (;;) {
+        BuildRound(horizon);
+        ExecuteRound();
         DrainMailboxes();
-        now_ = end;
+        if (std::find(done_.begin(), done_.end(), 0) == done_.end()) break;
     }
     running_ = false;
+    now_ = std::max(now_, horizon);
     return SettleEventsFired();
 }
 

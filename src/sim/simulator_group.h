@@ -1,34 +1,49 @@
 // Conservative parallel discrete-event runtime: one Simulator shard per
-// partition (pod), advanced in lock-step epochs and coupled through
-// deterministic cross-shard mailboxes.
+// partition (pod, ring slice, coordinator), advanced in bounded rounds
+// and coupled through deterministic cross-shard mailboxes.
 //
-// The federation only interacts across pods through the dispatcher /
-// front-door layer, and every such interaction carries a real latency
-// (PCIe DMA interrupt + front-door network). That latency is the
-// lookahead W of classic Chandy-Misra null-message synchronization: if
-// every cross-shard message posted at time t delivers at t + hop with
-// hop >= W, then running all shards independently over the half-open
-// epoch [S, S+W) can never miss an incoming message — anything posted
-// during the epoch lands at or after the barrier S+W.
+// Synchronization is per-edge Chandy-Misra lookahead, not a global
+// epoch. Every (source, destination) shard pair carries a declared
+// lookahead L(s,d): a promise that a message posted by shard s at local
+// time t delivers at or after t + L(s,d). From the raw edge matrix the
+// group keeps a min-plus closure L*(s,d) — the cheapest relay path,
+// diagonal = the cheapest round trip — and each round computes, per
+// shard d, a conservative bound:
 //
-// Determinism contract: at each barrier, all posted messages are sorted
-// globally by (deliver_time, priority, source_shard, source_sequence)
-// and scheduled onto their destination shards in that order. Destination
-// sequence numbers — the final tie-breaker inside a shard's event queue
-// — are therefore assigned canonically, independent of thread timing.
-// Lock-step (single-thread) and parallel execution of the same group
-// run the identical algorithm over identical barriers and are
-// bit-identical; the differential federation test pins this.
+//     base(s)  = earliest pending event on shard s (daemons included),
+//                or unreachable when s is empty
+//     bound(d) = min over all s of base(s) + L*(s,d)
 //
-// Mailboxes are single-writer: outbox[s] is appended only by the thread
-// executing shard s during an epoch and drained only by the driving
-// thread at the barrier, so no locks are taken on the message path. The
-// epoch barrier itself is a generation-counted mutex/condvar barrier.
+// Shard d may execute every event strictly before bound(d) — nothing
+// can arrive earlier, even through multi-hop relays (the closure's
+// triangle inequality covers a pod waking the coordinator waking
+// another pod). Shards with slack run far ahead of the tightest edge;
+// with the paper's asymmetric hops this is the difference between the
+// federation crawling at the global minimum and each pod advancing at
+// its own inbound latency. The uniform matrix (every edge = Config::
+// epoch) degenerates to PR 8's global-minimum epochs exactly.
+//
+// Execution is a work-stealing pool: the driving thread publishes the
+// round's ready shards as a work list; executors (the driver plus
+// workers) claim entries with an atomic ticket, so an idle executor
+// steals the next ready shard instead of idling behind a static
+// shard-to-thread map. The generation-counted barrier then drains all
+// mailboxes in canonical (deliver_time, priority, source, sequence)
+// order, so destination sequence numbers — the final tie-breaker in a
+// shard's queue — are assigned identically no matter which thread ran
+// which shard: lock-step and parallel execution are bit-identical, and
+// the differential federation tests pin it.
+//
+// Mailboxes are single-writer: outbox[s] is appended only by the
+// executor running shard s during a round and drained only by the
+// driving thread at the barrier, so the message path takes no locks.
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -45,14 +60,15 @@ class SimulatorGroup {
         /** Number of shards (>= 1). Shard 0 is the coordinator by convention. */
         int shards = 1;
         /**
-         * Epoch width = lookahead: the minimum cross-shard hop latency.
-         * Every Post() made while running must deliver at or after the
-         * current epoch's end (asserted).
+         * Default lookahead for every edge not declared through
+         * SetEdgeLookahead: the minimum cross-shard hop latency. Every
+         * Post() made while running must deliver at or after the
+         * destination's current round bound (asserted).
          */
         Time epoch = 0;
         /**
-         * Run epochs on worker threads. Off, shards execute on the
-         * calling thread in shard-id order — same algorithm, same
+         * Run rounds on worker threads. Off, ready shards execute on
+         * the calling thread in shard-id order — same algorithm, same
          * barriers, bit-identical results.
          */
         bool parallel = false;
@@ -66,6 +82,9 @@ class SimulatorGroup {
         SimulatorConfig shard;
     };
 
+    /** "No path": an edge nothing is ever posted across. */
+    static constexpr Time kUnreachable = std::numeric_limits<Time>::max();
+
     explicit SimulatorGroup(const Config& config);
     ~SimulatorGroup();
 
@@ -74,36 +93,63 @@ class SimulatorGroup {
 
     int shard_count() const { return static_cast<int>(shards_.size()); }
     Simulator& shard(int i) { return *shards_[static_cast<std::size_t>(i)]; }
+    /** The default (undeclared-edge) lookahead. */
     Time epoch() const { return config_.epoch; }
     /** Number of executors actually used (1 in lock-step mode). */
     int executors() const { return executors_; }
 
-    /** Group time: the end of the last completed epoch. */
+    /**
+     * Declare the lookahead of edge `from` -> `to`: every message
+     * posted across it delivers at least `lookahead` after the source
+     * shard's clock. kUnreachable declares that nothing is ever posted
+     * across the edge (pods that only ever talk through the
+     * coordinator), which frees the destination from the source's
+     * frontier entirely — relay paths still constrain it through the
+     * closure. Widening (or re-asserting the same value, the
+     * ReattachPod path) is always allowed. Narrowing is allowed only
+     * before the first Run/RunUntil: past bounds already exploited the
+     * old guarantee, so a too-narrow re-assertion is rejected — the
+     * call returns false and the matrix is unchanged (callers assert).
+     */
+    bool SetEdgeLookahead(int from, int to, Time lookahead);
+    /** The declared (raw) lookahead of one edge. */
+    Time edge_lookahead(int from, int to) const;
+    /**
+     * The effective lookahead of the cheapest path `from` -> `to`
+     * (min-plus closure over the declared edges; `from == to` gives
+     * the cheapest round trip). What the per-round bounds use.
+     */
+    Time path_lookahead(int from, int to);
+
+    /** Group time: the furthest frontier a completed run reached. */
     Time Now() const { return now_; }
 
     /**
      * Post a cross-shard message: run `fn` on shard `to` at
      * `deliver_at`. Must be called from the context executing shard
      * `from` (or from the driving thread outside Run). While running,
-     * `deliver_at` must be at or after the current epoch's end — i.e.
-     * the hop that produced it must be >= the epoch width. Daemon
-     * messages (periodic telemetry) do not keep Run() alive.
+     * `deliver_at` must be at or after the destination's current round
+     * bound — i.e. the hop that produced it must honor the declared
+     * edge lookahead. Daemon messages (periodic telemetry) do not keep
+     * Run() alive.
      */
     void Post(int from, int to, Time deliver_at, EventFn fn,
               EventPriority priority = EventPriority::kDeliver,
               bool daemon = false);
 
     /**
-     * Run epochs until every shard is foreground-empty and no messages
+     * Run rounds until every shard is foreground-empty and no messages
      * are in flight. Daemon events stay pending, as with
      * Simulator::Run. Returns total events fired across shards.
      */
     std::uint64_t Run();
 
     /**
-     * Run epochs until group time reaches `horizon`. The final epoch is
+     * Run rounds until every shard reaches `horizon`. The final leg is
      * inclusive (events at exactly `horizon` fire), matching
-     * Simulator::RunUntil.
+     * Simulator::RunUntil. A shard whose bound clears the horizon
+     * finishes early — no message can reach it at or before the
+     * horizon — so laggard shards stop gating finished ones.
      */
     std::uint64_t RunUntil(Time horizon);
 
@@ -124,15 +170,43 @@ class SimulatorGroup {
         std::uint64_t next_seq = 0;
     };
 
-    /** Earliest pending event over all shards, daemons included. */
-    bool MinNextEventTime(Time* when);
+    /** How one ready shard executes its round. */
+    enum class RunKind : std::uint8_t {
+        kBefore,     ///< RunUntilBefore(bound): the normal round leg.
+        kInclusive,  ///< RunUntil(bound): the final RunUntil leg.
+        kAll,        ///< Run(): bound unreachable — nothing can arrive.
+    };
+    struct RoundItem {
+        int shard;
+        Time bound;
+        RunKind kind;
+    };
+
+    static Time SatAdd(Time a, Time b);
+    Time closure_at(int from, int to) const {
+        return closure_[static_cast<std::size_t>(from) *
+                            static_cast<std::size_t>(shard_count()) +
+                        static_cast<std::size_t>(to)];
+    }
+    /** Min-plus (Floyd-Warshall) closure of the raw edge matrix. */
+    void RefreshClosure();
     bool AllShardsForegroundEmpty() const;
     /** Sort all outboxes canonically and schedule onto destinations. */
     void DrainMailboxes();
-    /** Run one epoch on every shard; `inclusive` only for the final RunUntil epoch. */
-    void RunEpochAllShards(Time bound, bool inclusive);
-    void RunShardRange(int executor, Time bound, bool inclusive);
-    /** Sum shard EventsFired deltas; adopt worker-shard deltas into TLS. */
+    /**
+     * Compute per-shard promises and bounds and fill round_items_ with
+     * the shards that can advance; `horizon` != kUnreachable marks
+     * shards whose bound clears it as done (RunUntil mode).
+     */
+    void BuildRound(Time horizon);
+    /** Run round_items_ on the executor pool (or inline, lock-step). */
+    void ExecuteRound();
+    /** Claim items off round_items_ until the ticket runs out. */
+    void StealLoop(bool adopt_fired);
+    void RunItem(const RoundItem& item);
+    /** Reset per-run frontier bookkeeping. */
+    void BeginRun();
+    /** Sum shard EventsFired deltas; adopt worker-run deltas into TLS. */
     std::uint64_t SettleEventsFired();
     void WorkerLoop(int executor);
 
@@ -144,21 +218,42 @@ class SimulatorGroup {
     /** Per-shard EventsFired already folded into the return/TLS counters. */
     std::vector<std::uint64_t> fired_settled_;
 
+    /** Raw declared edge lookaheads, row-major [from][to]. */
+    std::vector<Time> raw_lookahead_;
+    /** Min-plus closure of raw_lookahead_ (diagonal = min round trip). */
+    std::vector<Time> closure_;
+    bool closure_dirty_ = true;
+    bool has_run_ = false;
+
+    // Per-round scratch, written by the driving thread between barriers.
+    std::vector<Time> base_;
+    std::vector<RoundItem> round_items_;
+    /**
+     * Per-shard conservative frontier: no message may deliver before
+     * round_end_[s] (the Post assert). Monotone within a run — the
+     * closure's triangle inequality makes every later round's bound at
+     * least as large as any bound a shard already executed to.
+     */
+    std::vector<Time> round_end_;
+    std::vector<char> done_;  ///< RunUntil: shard finished its final leg.
+
     Time now_ = 0;
     bool running_ = false;
-    Time epoch_end_ = 0;  ///< End of the epoch currently executing.
 
-    // Parallel-mode barrier state, guarded by mu_. Workers exist only
-    // when config_.parallel and executors_ > 1.
+    // Parallel-mode executor pool, guarded by mu_ except for the work
+    // ticket. Workers exist only when config_.parallel and
+    // executors_ > 1.
     std::vector<std::thread> workers_;
     std::mutex mu_;
     std::condition_variable cv_work_;
     std::condition_variable cv_done_;
     std::uint64_t generation_ = 0;
     int remaining_ = 0;
-    Time epoch_bound_ = 0;
-    bool epoch_inclusive_ = false;
     bool shutdown_ = false;
+    /** Work-stealing ticket into round_items_. */
+    std::atomic<int> next_item_{0};
+    /** Events fired by worker executors this run, adopted at settle. */
+    std::atomic<std::uint64_t> worker_fired_{0};
 };
 
 }  // namespace catapult::sim

@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator_group.h"
@@ -248,6 +249,157 @@ TEST(SimulatorGroup, EventsFiredAggregatesAcrossShards) {
     // Worker-shard deltas are adopted into the driving thread's
     // counter, so multi-shard runs report like single-simulator ones.
     EXPECT_EQ(GlobalEventsFired() - before, 40u);
+}
+
+// ---- Per-edge lookahead ----------------------------------------------
+
+// A narrow edge must let its destination receive messages closer than
+// the group's default epoch — and the reverse direction must keep its
+// own, wider guarantee. Delivery times pin both.
+TEST(SimulatorGroupEdges, AsymmetricMatrixDeliversPerEdge) {
+    SimulatorGroup group(GroupConfig(2, Microseconds(10)));
+    ASSERT_TRUE(group.SetEdgeLookahead(0, 1, Microseconds(2)));
+    EXPECT_EQ(group.edge_lookahead(0, 1), Microseconds(2));
+    EXPECT_EQ(group.edge_lookahead(1, 0), Microseconds(10));
+    Time forward = -1;
+    Time backward = -1;
+    group.shard(0).ScheduleAt(Microseconds(5), [&] {
+        group.Post(0, 1, group.shard(0).Now() + Microseconds(2), [&] {
+            forward = group.shard(1).Now();
+            group.Post(1, 0, group.shard(1).Now() + Microseconds(10),
+                       [&] { backward = group.shard(0).Now(); });
+        });
+    });
+    group.Run();
+    EXPECT_EQ(forward, Microseconds(7));
+    EXPECT_EQ(backward, Microseconds(17));
+}
+
+// The per-round bound is the min-plus closure of the edge matrix, not
+// the raw matrix: with the direct 1 -> 2 edge severed, the 1 -> 0 -> 2
+// relay still bounds how soon shard 2 can hear from shard 1.
+TEST(SimulatorGroupEdges, ClosureFollowsRelayPath) {
+    SimulatorGroup group(GroupConfig(3, Microseconds(10)));
+    ASSERT_TRUE(
+        group.SetEdgeLookahead(1, 2, SimulatorGroup::kUnreachable));
+    ASSERT_TRUE(group.SetEdgeLookahead(1, 0, Microseconds(3)));
+    ASSERT_TRUE(group.SetEdgeLookahead(0, 2, Microseconds(4)));
+    EXPECT_EQ(group.edge_lookahead(1, 2), SimulatorGroup::kUnreachable);
+    EXPECT_EQ(group.path_lookahead(1, 2), Microseconds(7));
+    EXPECT_EQ(group.path_lookahead(1, 0), Microseconds(3));
+}
+
+// Tightest-incoming-edge advance: with a huge default epoch, a single
+// narrow edge still delivers at its own pace, and a local event that
+// predates the delivery keeps its place in time.
+TEST(SimulatorGroupEdges, TightestIncomingEdgeGovernsAdvance) {
+    SimulatorGroup group(GroupConfig(3, Microseconds(50)));
+    ASSERT_TRUE(group.SetEdgeLookahead(0, 2, Microseconds(2)));
+    std::vector<std::pair<int, Time>> fired;  // (tag, when)
+    group.shard(2).ScheduleAt(Microseconds(1), [&] {
+        fired.emplace_back(0, group.shard(2).Now());
+    });
+    group.shard(0).ScheduleAt(Microseconds(1), [&] {
+        group.Post(0, 2, group.shard(0).Now() + Microseconds(2), [&] {
+            fired.emplace_back(1, group.shard(2).Now());
+        });
+    });
+    group.Run();
+    ASSERT_EQ(fired.size(), 2u);
+    EXPECT_EQ(fired[0], std::make_pair(0, Microseconds(1)));
+    EXPECT_EQ(fired[1], std::make_pair(1, Microseconds(3)));
+}
+
+// Attach-time contract: before the first run an edge may narrow (the
+// attach asserts what the path really guarantees); after the first run
+// a narrower promise would retroactively invalidate already-executed
+// rounds, so it is rejected. Same or wider is always accepted.
+TEST(SimulatorGroupEdges, NarrowingRejectedOnceRunning) {
+    SimulatorGroup group(GroupConfig(2, Microseconds(10)));
+    EXPECT_TRUE(group.SetEdgeLookahead(0, 1, Microseconds(4)));
+    group.shard(1).ScheduleAt(Microseconds(1), [] {});
+    group.Run();
+    EXPECT_FALSE(group.SetEdgeLookahead(0, 1, Microseconds(3)));
+    EXPECT_EQ(group.edge_lookahead(0, 1), Microseconds(4));
+    EXPECT_TRUE(group.SetEdgeLookahead(0, 1, Microseconds(4)));
+    EXPECT_TRUE(group.SetEdgeLookahead(0, 1, Microseconds(9)));
+    EXPECT_EQ(group.edge_lookahead(0, 1), Microseconds(9));
+}
+
+// Mutually unreachable shards decouple completely: each runs its local
+// timeline to completion without epoch round-trips with the other.
+TEST(SimulatorGroupEdges, UnreachableEdgesDecoupleShards) {
+    SimulatorGroup group(GroupConfig(2, Microseconds(5)));
+    ASSERT_TRUE(
+        group.SetEdgeLookahead(0, 1, SimulatorGroup::kUnreachable));
+    ASSERT_TRUE(
+        group.SetEdgeLookahead(1, 0, SimulatorGroup::kUnreachable));
+    std::vector<Time> fired0;
+    std::vector<Time> fired1;
+    for (int i = 1; i <= 3; ++i) {
+        group.shard(0).ScheduleAt(Seconds(i),
+                                  [&] { fired0.push_back(group.shard(0).Now()); });
+        group.shard(1).ScheduleAt(Milliseconds(i),
+                                  [&] { fired1.push_back(group.shard(1).Now()); });
+    }
+    EXPECT_EQ(group.Run(), 6u);
+    EXPECT_EQ(fired0,
+              (std::vector<Time>{Seconds(1), Seconds(2), Seconds(3)}));
+    EXPECT_EQ(fired1, (std::vector<Time>{Milliseconds(1), Milliseconds(2),
+                                         Milliseconds(3)}));
+}
+
+// Work-stealing parity: more shards than executors, an asymmetric edge
+// matrix, multi-round chatter — the threaded run must reproduce the
+// lock-step transcript byte for byte.
+TEST(SimulatorGroupEdges, WorkStealingMatchesLockstep) {
+    auto run = [](bool parallel) {
+        SimulatorGroup group(GroupConfig(8, Microseconds(20), parallel,
+                                         /*max_threads=*/3));
+        for (int s = 1; s < 8; ++s) {
+            // Inject edge narrower than the epoch (legal pre-run),
+            // completion edge per-pod asymmetric.
+            EXPECT_TRUE(group.SetEdgeLookahead(0, s, Microseconds(2 + s)));
+            EXPECT_TRUE(
+                group.SetEdgeLookahead(s, 0, Microseconds(17 - s)));
+        }
+        std::vector<std::vector<std::uint64_t>> per_shard(8);
+        group.shard(0).ScheduleAt(0, [&] {
+            for (int s = 1; s < 8; ++s) {
+                const Time out = group.edge_lookahead(0, s);
+                group.Post(0, s, group.shard(0).Now() + out, [&, s] {
+                    Simulator& pod = group.shard(s);
+                    per_shard[static_cast<std::size_t>(s)].push_back(
+                        static_cast<std::uint64_t>(s) * 1000000 +
+                        static_cast<std::uint64_t>(pod.Now()));
+                    for (int r = 0; r < 3; ++r) {
+                        pod.ScheduleAfter(Microseconds(s + r), [&, s] {
+                            const Time back = group.edge_lookahead(s, 0);
+                            group.Post(
+                                s, 0, group.shard(s).Now() + back,
+                                [&, s] {
+                                    per_shard[0].push_back(
+                                        static_cast<std::uint64_t>(s) +
+                                        static_cast<std::uint64_t>(
+                                            group.shard(0).Now()) *
+                                            10);
+                                });
+                        });
+                    }
+                });
+            }
+        });
+        group.Run();
+        std::vector<std::uint64_t> transcript;
+        for (const auto& t : per_shard) {
+            transcript.insert(transcript.end(), t.begin(), t.end());
+        }
+        return transcript;
+    };
+    const auto lockstep = run(false);
+    const auto threaded = run(true);
+    EXPECT_EQ(lockstep.size(), 28u);  // 7 receipts + 21 bounces.
+    EXPECT_EQ(lockstep, threaded);
 }
 
 }  // namespace
