@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "rank/document_generator.h"
+#include "service/federation_testbed.h"
 #include "sim/simulator.h"
 #include "sim/simulator_group.h"
 
@@ -215,6 +217,74 @@ Outcome RunGroupScenario(int shards, Time lookahead, int mailbox_pct,
     return out;
 }
 
+/**
+ * Observability overhead probe: a fig15-style paced-load run on a
+ * sharded 2-pod federation that loses pod 0 mid-run and re-admits it —
+ * the scenario where every pillar of the plane is live (query spans,
+ * failover instants, FDR postmortem, executor profile, hub snapshots).
+ */
+enum class ObsMode { kOff, kMetrics, kTracing };
+
+struct ObsOutcome {
+    Outcome run;
+    std::string snapshot_json;  ///< One-line merged snapshot (kTracing).
+    bool trace_complete = false;  ///< failover + fdr present in timeline.
+};
+
+ObsOutcome RunObservedFederation(ObsMode mode) {
+    service::FederationTestbed::Config config;
+    config.pod_count = 2;
+    config.pod.ring_count = 2;
+    config.pod.fabric.device.configure_time = Milliseconds(5);
+    config.pod.host.soft_reboot_duration = Milliseconds(30);
+    config.pod.host.hard_reboot_duration = Milliseconds(40);
+    config.pod.host.crash_reboot_delay = Milliseconds(10);
+    config.pod.health.heartbeat_period = Milliseconds(10);
+    config.pod.health.query_timeout = Milliseconds(30);
+    config.sharding.enabled = true;
+    config.observability.enabled = mode != ObsMode::kOff;
+    config.observability.tracing = mode == ObsMode::kTracing;
+    service::FederationTestbed bed(config);
+    ObsOutcome out;
+    if (!bed.DeployAndSettle()) return out;
+
+    const Time blackout_at = bed.Now() + Milliseconds(30);
+    bed.pod(0).failure_injector().SchedulePodBlackout(blackout_at);
+    bed.simulator().ScheduleAt(blackout_at + Milliseconds(30), [&] {
+        bed.ReattachPod(0, [](bool) {});
+    });
+    rank::DocumentGenerator generator(41);
+    for (int i = 0; i < 4'000; ++i) {
+        bed.simulator().ScheduleAfter(
+            Microseconds(20) * i + Milliseconds(1), [&bed, &generator, i] {
+                rank::CompressedRequest request = generator.Next();
+                request.query.model_id = 0;
+                bed.dispatcher().Inject(i % 32, request,
+                                        [](const service::ScoreResult&) {});
+            });
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    out.run.events = bed.Run();
+    const auto end = std::chrono::steady_clock::now();
+    out.run.wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    out.run.events_per_sec =
+        out.run.wall_ms > 0.0
+            ? static_cast<double>(out.run.events) / (out.run.wall_ms / 1e3)
+            : 0.0;
+    if (mode == ObsMode::kTracing) {
+        out.snapshot_json =
+            bed.observability()->SnapshotJson(bed.Now(), true);
+        const std::string trace = bed.observability()->TraceJson();
+        out.trace_complete =
+            trace.find("\"failover\"") != std::string::npos &&
+            trace.find("\"fdr\"") != std::string::npos &&
+            trace.find("\"query\"") != std::string::npos;
+    }
+    return out;
+}
+
 }  // namespace
 }  // namespace catapult
 
@@ -298,5 +368,76 @@ int main() {
             }
         }
     }
+
+    // Observability overhead: the same blackout + re-admission
+    // federation run with the plane off, metrics-only (tracing off),
+    // and with full distributed tracing. The plane must observe
+    // without perturbing — identical simulated events in all three
+    // modes — and full tracing must stay within 10% of the tracing-off
+    // wall time (best of 3, plus a small absolute allowance so
+    // sub-100 ms runs on noisy shared runners don't flap the gate).
+    // The plane-off column is the no-regression reference bench/run_all
+    // --compare tracks against the previous PR's baseline.
+    std::printf("\nObservability overhead (sharded 2-pod blackout + "
+                "re-admission, best of 3)\n");
+    struct ModeRow {
+        ObsMode mode;
+        const char* name;
+    };
+    const ModeRow modes[] = {{ObsMode::kOff, "off"},
+                             {ObsMode::kMetrics, "metrics"},
+                             {ObsMode::kTracing, "tracing"}};
+    double best_wall[3] = {0.0, 0.0, 0.0};
+    std::uint64_t events_by_mode[3] = {0, 0, 0};
+    ObsOutcome traced;
+    bench::Row({"observability", "wall_ms", "events", "events_per_s"});
+    for (int m = 0; m < 3; ++m) {
+        ObsOutcome best;
+        for (int rep = 0; rep < 3; ++rep) {
+            ObsOutcome out = RunObservedFederation(modes[m].mode);
+            if (rep == 0 || out.run.wall_ms < best.run.wall_ms) best = out;
+        }
+        best_wall[m] = best.run.wall_ms;
+        events_by_mode[m] = best.run.events;
+        if (modes[m].mode == ObsMode::kTracing) traced = best;
+        bench::Row({modes[m].name, bench::Fmt(best.run.wall_ms, 1),
+                    bench::FmtInt(static_cast<long long>(best.run.events)),
+                    bench::FmtInt(
+                        static_cast<long long>(best.run.events_per_sec))});
+    }
+    const double overhead_pct =
+        best_wall[1] > 0.0
+            ? (best_wall[2] - best_wall[1]) / best_wall[1] * 100.0
+            : 0.0;
+    std::printf("[obs_overhead_pct] %.1f\n", overhead_pct);
+    // The merged snapshot of the fully-traced run, one line, for
+    // bench/run_all to fold into the PR baseline JSON.
+    std::printf("[metrics_snapshot] %s\n", traced.snapshot_json.c_str());
+
+    bool ok = true;
+    if (events_by_mode[0] != events_by_mode[1] ||
+        events_by_mode[0] != events_by_mode[2]) {
+        std::printf("FAIL: observability perturbed the simulation "
+                    "(events %llu/%llu/%llu)\n",
+                    static_cast<unsigned long long>(events_by_mode[0]),
+                    static_cast<unsigned long long>(events_by_mode[1]),
+                    static_cast<unsigned long long>(events_by_mode[2]));
+        ok = false;
+    }
+    if (!traced.trace_complete) {
+        std::printf("FAIL: traced run missing query/failover/fdr records "
+                    "in the stitched timeline\n");
+        ok = false;
+    }
+    if (best_wall[2] > best_wall[1] * 1.10 + 25.0) {
+        std::printf("FAIL: full tracing overhead %.1f%% over tracing-off "
+                    "exceeds the 10%% gate (%.1f ms vs %.1f ms)\n",
+                    overhead_pct, best_wall[2], best_wall[1]);
+        ok = false;
+    }
+    if (!ok) return 1;
+    std::printf("PASS: full-tracing overhead %.1f%% over tracing-off "
+                "(gate 10%%), simulation unperturbed\n",
+                overhead_pct);
     return 0;
 }

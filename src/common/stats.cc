@@ -106,6 +106,17 @@ void Log2Histogram::Add(double x) {
     ++buckets_[bucket];
 }
 
+void Log2Histogram::Merge(const Log2Histogram& other) {
+    total_ += other.total_;
+    underflow_ += other.underflow_;
+    if (buckets_.size() < other.buckets_.size()) {
+        buckets_.resize(other.buckets_.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+        buckets_[i] += other.buckets_[i];
+    }
+}
+
 double Log2Histogram::CumulativeFraction(double x) const {
     if (total_ == 0) return 0.0;
     std::int64_t below = underflow_;

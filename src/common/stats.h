@@ -82,7 +82,11 @@ class Log2Histogram {
   public:
     void Add(double x);
 
+    /** Bucket-wise sum; underflow and totals add. */
+    void Merge(const Log2Histogram& other);
+
     std::int64_t total() const { return total_; }
+    std::int64_t underflow() const { return underflow_; }
     const std::vector<std::int64_t>& buckets() const { return buckets_; }
 
     /** Cumulative fraction of samples <= `x`. */

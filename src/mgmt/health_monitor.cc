@@ -189,6 +189,29 @@ void HealthMonitor::FinishMachine(std::shared_ptr<Context> ctx,
         failed_machines_.push_back(report);
         LOG_INFO("health_monitor")
             << "node " << report.node << " fault: " << ToString(report.fault);
+        if (obs_ != nullptr && obs_->tracing()) {
+            obs_->tracer.Instant("fault", 0, 0, 0, simulator_->Now(),
+                                 report.node,
+                                 static_cast<std::int64_t>(report.fault));
+            // The health check's FDR stream-out (§3.6), folded into the
+            // trace timeline: the victim's last packets appear as "fdr"
+            // instants keyed by document trace id, which the stitcher
+            // joins to the owning query spans — the postmortem shows
+            // what the machine was doing when it died.
+            const auto records =
+                fabric_->shell(report.node).fdr().StreamOutExtended();
+            const std::size_t first =
+                records.size() > kFdrPostmortemTail
+                    ? records.size() - kFdrPostmortemTail
+                    : 0;
+            for (std::size_t i = first; i < records.size(); ++i) {
+                const auto& r = records[i];
+                obs_->tracer.Instant("fdr", 0, 0, r.trace_id, r.timestamp,
+                                     static_cast<std::int64_t>(r.type),
+                                     static_cast<std::int64_t>(r.size));
+                ++counters_.fdr_postmortem_records;
+            }
+        }
         if (on_machine_failed_) on_machine_failed_(report);
         // Index-based walk with null skip: a subscriber callback may
         // add or remove subscribers without invalidating the sweep.

@@ -31,6 +31,7 @@
 #include "fabric/catapult_fabric.h"
 #include "host/host_server.h"
 #include "mgmt/telemetry_bus.h"
+#include "obs/observability.h"
 #include "shell/shell.h"
 #include "sim/simulator.h"
 
@@ -200,8 +201,22 @@ class HealthMonitor {
         std::uint64_t heartbeat_misses = 0;
         std::uint64_t telemetry_events = 0;
         std::uint64_t auto_investigations = 0;
+        /** FDR records streamed into the trace timeline on faults. */
+        std::uint64_t fdr_postmortem_records = 0;
     };
     const Counters& counters() const { return counters_; }
+
+    /** Victim FDR tail length streamed into the timeline per fault. */
+    static constexpr std::size_t kFdrPostmortemTail = 32;
+
+    /**
+     * Attach the pod's observability shard. Every classified fault
+     * emits a "fault" instant, and the victim's FDR tail (§3.6's
+     * health-check stream-out) is replayed into the trace timeline as
+     * "fdr" instants keyed by the packets' document trace ids, so the
+     * stitcher joins them to the query spans they belong to.
+     */
+    void SetObservability(obs::ShardObs* obs) { obs_ = obs; }
 
   private:
     struct Context;
@@ -257,6 +272,7 @@ class HealthMonitor {
     std::uint64_t watchdog_epoch_ = 0;  ///< Orphans stale sweep callbacks.
     TelemetryBus* telemetry_ = nullptr;
     TelemetrySubscription telemetry_subscription_;
+    obs::ShardObs* obs_ = nullptr;
     Counters counters_;
 };
 

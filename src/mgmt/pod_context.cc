@@ -83,6 +83,10 @@ PodContext::PodContext(sim::Simulator* simulator, Config config)
     health_feed_ = std::make_unique<HealthScoreFeed>(simulator_);
     forecaster_ = std::make_unique<HealthForecaster>(
         simulator_, health_feed_.get(), config_.forecast);
+    if (config_.obs != nullptr) {
+        pool_->SetObservability(config_.obs);
+        health_monitor_->SetObservability(config_.obs);
+    }
 
     if (!config_.autonomic) return;
     // The autonomic loop (§3.3, §3.5): components publish faults, the

@@ -34,6 +34,7 @@
 #include "mgmt/mapping_manager.h"
 #include "mgmt/pod_scheduler.h"
 #include "mgmt/telemetry_bus.h"
+#include "obs/observability.h"
 #include "service/ranking_service.h"
 #include "service/service_pool.h"
 #include "service/trace_replay.h"
@@ -98,6 +99,14 @@ class PodContext {
          * shard's; this records the pinning for logs and asserts.
          */
         int shard_index = -1;
+        /**
+         * This pod's observability shard (single-writer: the executor
+         * running the pod's simulator shard). Wired through the ring
+         * pool (per-document "doc"/"stage" spans) and the Health
+         * Monitor ("fault" instants + FDR postmortem streaming). Null
+         * = observability off; the pointee must outlive the pod.
+         */
+        obs::ShardObs* obs = nullptr;
     };
 
     /** Builds the whole pod on `simulator`; does not deploy the pool. */

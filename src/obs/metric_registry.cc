@@ -1,0 +1,164 @@
+#include "obs/metric_registry.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace catapult::obs {
+namespace {
+
+/** 2^i as an integer string — bucket edges are exact powers of two, so
+ *  format them without a float round trip. */
+std::string Pow2(std::size_t i) {
+    std::ostringstream out;
+    out << (std::uint64_t{1} << i);
+    return out.str();
+}
+
+}  // namespace
+
+MetricRegistry::Entry* MetricRegistry::FindOrCreate(const std::string& name,
+                                                    Kind kind,
+                                                    bool volatile_metric,
+                                                    GaugeMerge merge) {
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+        assert(it->second->kind == kind &&
+               "metric re-registered under a different kind");
+        return it->second.get();
+    }
+    auto entry = std::make_unique<Entry>();
+    entry->kind = kind;
+    entry->volatile_metric = volatile_metric;
+    entry->merge = merge;
+    Entry* raw = entry.get();
+    entries_.emplace(name, std::move(entry));
+    return raw;
+}
+
+Counter* MetricRegistry::counter(const std::string& name,
+                                 bool volatile_metric) {
+    return &FindOrCreate(name, Kind::kCounter, volatile_metric,
+                         GaugeMerge::kSum)
+                ->counter;
+}
+
+Gauge* MetricRegistry::gauge(const std::string& name, GaugeMerge merge,
+                             bool volatile_metric) {
+    return &FindOrCreate(name, Kind::kGauge, volatile_metric, merge)->gauge;
+}
+
+Histogram* MetricRegistry::histogram(const std::string& name,
+                                     bool volatile_metric) {
+    return &FindOrCreate(name, Kind::kHistogram, volatile_metric,
+                         GaugeMerge::kSum)
+                ->histogram;
+}
+
+void MetricRegistry::MergeFrom(const MetricRegistry& other) {
+    for (const auto& [name, theirs] : other.entries_) {
+        Entry* mine =
+            FindOrCreate(name, theirs->kind, theirs->volatile_metric,
+                         theirs->merge);
+        switch (theirs->kind) {
+            case Kind::kCounter:
+                mine->counter.Inc(theirs->counter.value());
+                break;
+            case Kind::kGauge:
+                if (mine->merge == GaugeMerge::kMax) {
+                    mine->gauge.SetMax(theirs->gauge.value());
+                } else {
+                    mine->gauge.Add(theirs->gauge.value());
+                }
+                break;
+            case Kind::kHistogram:
+                mine->histogram.data().Merge(theirs->histogram.data());
+                break;
+        }
+    }
+}
+
+std::string MetricRegistry::ToJson(bool include_volatile) const {
+    std::ostringstream counters, gauges, histograms;
+    bool c_first = true, g_first = true, h_first = true;
+    for (const auto& [name, entry] : entries_) {
+        if (entry->volatile_metric && !include_volatile) continue;
+        switch (entry->kind) {
+            case Kind::kCounter:
+                if (!c_first) counters << ",";
+                c_first = false;
+                counters << "\"" << name << "\":" << entry->counter.value();
+                break;
+            case Kind::kGauge:
+                if (!g_first) gauges << ",";
+                g_first = false;
+                gauges << "\"" << name << "\":" << entry->gauge.value();
+                break;
+            case Kind::kHistogram: {
+                if (!h_first) histograms << ",";
+                h_first = false;
+                const Log2Histogram& h = entry->histogram.data();
+                histograms << "\"" << name << "\":{\"total\":" << h.total()
+                           << ",\"underflow\":" << h.underflow()
+                           << ",\"buckets\":[";
+                for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+                    if (i > 0) histograms << ",";
+                    histograms << h.buckets()[i];
+                }
+                histograms << "]}";
+                break;
+            }
+        }
+    }
+    std::ostringstream out;
+    out << "{\"counters\":{" << counters.str() << "},\"gauges\":{"
+        << gauges.str() << "},\"histograms\":{" << histograms.str() << "}}";
+    return out.str();
+}
+
+std::string MetricRegistry::ToPrometheus() const {
+    // Metric names in the registry use dots as separators; Prometheus
+    // wants [a-zA-Z_:][a-zA-Z0-9_:]*.
+    auto sanitize = [](const std::string& name) {
+        std::string s = name;
+        for (char& c : s) {
+            const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '_' || c == ':';
+            if (!ok) c = '_';
+        }
+        return s;
+    };
+    std::ostringstream out;
+    for (const auto& [name, entry] : entries_) {
+        const std::string p = sanitize(name);
+        if (entry->volatile_metric) out << "# volatile\n";
+        switch (entry->kind) {
+            case Kind::kCounter:
+                out << "# TYPE " << p << " counter\n"
+                    << p << " " << entry->counter.value() << "\n";
+                break;
+            case Kind::kGauge:
+                out << "# TYPE " << p << " gauge\n"
+                    << p << " " << entry->gauge.value() << "\n";
+                break;
+            case Kind::kHistogram: {
+                const Log2Histogram& h = entry->histogram.data();
+                out << "# TYPE " << p << " histogram\n";
+                std::int64_t cumulative = h.underflow();
+                out << p << "_bucket{le=\"1\"} " << cumulative << "\n";
+                for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+                    cumulative += h.buckets()[i];
+                    out << p << "_bucket{le=\"" << Pow2(i + 1) << "\"} "
+                        << cumulative << "\n";
+                }
+                out << p << "_bucket{le=\"+Inf\"} " << h.total() << "\n"
+                    << p << "_count " << h.total() << "\n";
+                break;
+            }
+        }
+    }
+    return out.str();
+}
+
+}  // namespace catapult::obs

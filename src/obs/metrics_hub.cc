@@ -1,0 +1,20 @@
+#include "obs/metrics_hub.h"
+
+namespace catapult::obs {
+
+void MetricsHub::AdvanceTo(Time frontier,
+                           const std::function<std::string()>& render) {
+    if (config_.cadence <= 0) return;
+    if (frontier < last_boundary_ + config_.cadence) return;
+    const std::string json = render ? render() : std::string();
+    while (frontier >= last_boundary_ + config_.cadence) {
+        last_boundary_ += config_.cadence;
+        ++taken_;
+        snapshots_.push_back({last_boundary_, json});
+        if (snapshots_.size() > config_.max_snapshots) {
+            snapshots_.pop_front();
+        }
+    }
+}
+
+}  // namespace catapult::obs

@@ -1,0 +1,150 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace catapult::obs {
+
+TraceRecorder::TraceRecorder(int shard, std::size_t capacity, bool enabled)
+    : shard_(shard),
+      enabled_(enabled),
+      base_(static_cast<std::uint64_t>(shard) << 48) {
+    assert(shard >= 0);
+    assert(capacity > 0);
+    // Preallocate the whole ring: appends on the simulation hot path
+    // are a store + counter bump, never an allocation.
+    ring_.resize(capacity);
+}
+
+void TraceRecorder::Span(const char* name, std::uint64_t trace,
+                         std::uint64_t span, std::uint64_t parent,
+                         std::uint64_t doc, Time start, Time end,
+                         std::int64_t a1, std::int64_t a2) {
+    if (!enabled_) return;
+    TraceRecord& slot = ring_[static_cast<std::size_t>(total_ % ring_.size())];
+    ++total_;
+    slot.name = name;
+    slot.trace = trace;
+    slot.span = span;
+    slot.parent = parent;
+    slot.doc = doc;
+    slot.start = start;
+    slot.end = end;
+    slot.a1 = a1;
+    slot.a2 = a2;
+}
+
+void TraceRecorder::Instant(const char* name, std::uint64_t trace,
+                            std::uint64_t parent, std::uint64_t doc, Time at,
+                            std::int64_t a1, std::int64_t a2) {
+    Span(name, trace, /*span=*/0, parent, doc, at, at, a1, a2);
+}
+
+std::vector<TraceRecord> TraceRecorder::Records() const {
+    std::vector<TraceRecord> out;
+    const std::size_t n =
+        total_ < ring_.size() ? static_cast<std::size_t>(total_)
+                              : ring_.size();
+    out.reserve(n);
+    const std::size_t first =
+        total_ < ring_.size() ? 0
+                              : static_cast<std::size_t>(total_ % ring_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(ring_[(first + i) % ring_.size()]);
+    }
+    return out;
+}
+
+namespace {
+
+struct Tagged {
+    TraceRecord r;
+    int shard;
+};
+
+/** Simulated picoseconds -> trace-event microseconds, fixed 6-decimal
+ *  formatting so identical inputs serialize identically. */
+std::string TsMicros(Time ps) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%lld.%06lld",
+                  static_cast<long long>(ps / 1000000),
+                  static_cast<long long>(ps % 1000000));
+    return buf;
+}
+
+}  // namespace
+
+std::string StitchChromeTrace(
+    const std::vector<const TraceRecorder*>& shards) {
+    std::vector<Tagged> all;
+    for (const TraceRecorder* rec : shards) {
+        if (rec == nullptr) continue;
+        for (TraceRecord& r : rec->Records()) {
+            all.push_back({std::move(r), rec->shard()});
+        }
+    }
+    // A document span is the span record carrying a doc id; FDR records
+    // and other doc-keyed instants arrive with trace == 0 and are
+    // re-parented under it. Ties (a doc id observed by several spans,
+    // e.g. a retry reusing an id space) resolve to the earliest
+    // (start, span) — a deterministic choice.
+    struct DocOwner {
+        Time start;
+        std::uint64_t span;
+        std::uint64_t trace;
+    };
+    std::map<std::uint64_t, DocOwner> doc_owner;
+    for (const Tagged& t : all) {
+        if (t.r.span == 0 || t.r.doc == 0 || t.r.trace == 0) continue;
+        auto it = doc_owner.find(t.r.doc);
+        if (it == doc_owner.end() || t.r.start < it->second.start ||
+            (t.r.start == it->second.start && t.r.span < it->second.span)) {
+            doc_owner[t.r.doc] = {t.r.start, t.r.span, t.r.trace};
+        }
+    }
+    for (Tagged& t : all) {
+        if (t.r.trace != 0 || t.r.doc == 0) continue;
+        auto it = doc_owner.find(t.r.doc);
+        if (it == doc_owner.end()) continue;
+        t.r.trace = it->second.trace;
+        if (t.r.parent == 0) t.r.parent = it->second.span;
+    }
+    std::sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+        if (a.r.start != b.r.start) return a.r.start < b.r.start;
+        if (a.r.end != b.r.end) return a.r.end < b.r.end;
+        if (a.r.trace != b.r.trace) return a.r.trace < b.r.trace;
+        if (a.r.span != b.r.span) return a.r.span < b.r.span;
+        if (a.shard != b.shard) return a.shard < b.shard;
+        return std::strcmp(a.r.name ? a.r.name : "",
+                           b.r.name ? b.r.name : "") < 0;
+    });
+    std::ostringstream out;
+    out << "{\"traceEvents\":[";
+    bool first = true;
+    for (const Tagged& t : all) {
+        if (!first) out << ",";
+        first = false;
+        out << "{\"name\":\"" << (t.r.name ? t.r.name : "?")
+            << "\",\"cat\":\"catapult\",\"ph\":\""
+            << (t.r.span != 0 ? "X" : "i") << "\",\"ts\":"
+            << TsMicros(t.r.start);
+        if (t.r.span != 0) {
+            out << ",\"dur\":" << TsMicros(t.r.end - t.r.start);
+        } else {
+            out << ",\"s\":\"t\"";
+        }
+        out << ",\"pid\":" << t.r.trace << ",\"tid\":" << t.shard
+            << ",\"args\":{\"span\":" << t.r.span << ",\"parent\":"
+            << t.r.parent << ",\"doc\":" << t.r.doc << ",\"a1\":" << t.r.a1
+            << ",\"a2\":" << t.r.a2 << "}}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+}  // namespace catapult::obs

@@ -36,6 +36,14 @@ struct Query {
     std::uint64_t query_id = 0;
     std::uint32_t model_id = 0;  ///< Model selection (language/experiment).
     int term_count = 1;          ///< 1 .. kMaxQueryTerms.
+
+    // Distributed-tracing context, carried piggyback because requests
+    // are copied along the whole query path (scatter shard -> dispatcher
+    // -> cross-shard mailbox -> pod ring). Plain ids, no obs-layer
+    // dependency; 0 = untraced. Not part of the §4.1 wire format —
+    // EncodedSize()/RequestCodec ignore them.
+    std::uint64_t obs_trace = 0;   ///< Timeline (trace) id.
+    std::uint64_t obs_parent = 0;  ///< Parent span id for the next hop.
 };
 
 /**

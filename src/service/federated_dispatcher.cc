@@ -27,6 +27,13 @@ FederatedDispatcher::FederatedDispatcher(sim::Simulator* simulator,
     assert(config_.max_retries >= 0);
 }
 
+void FederatedDispatcher::SetObservability(obs::ShardObs* obs) {
+    obs_ = obs;
+    obs_latency_us_ =
+        obs_ ? obs_->registry.histogram("federation.query_latency_us")
+             : nullptr;
+}
+
 FederatedDispatcher::~FederatedDispatcher() {
     for (auto& slot : pods_) {
         for (auto& slice : slot.slices) {
@@ -614,6 +621,21 @@ host::SendStatus FederatedDispatcher::InjectPreferring(
         query->on_complete = std::move(on_complete);
         query->accepted_at = simulator_->Now();
         query->retries_left = config_.max_retries;
+        query->obs_trace = 0;
+        query->obs_span = 0;
+        query->obs_parent = 0;
+        if (obs_ != nullptr && obs_->tracing()) {
+            // Join the caller's timeline (a scatter gather stamped the
+            // request) or open a fresh one; pod-side document spans
+            // parent on this query span through the forwarded request.
+            query->obs_parent = request.query.obs_parent;
+            query->obs_trace = request.query.obs_trace != 0
+                                   ? request.query.obs_trace
+                                   : obs_->tracer.NextTraceId();
+            query->obs_span = obs_->tracer.NextSpanId();
+            query->request.query.obs_trace = query->obs_trace;
+            query->request.query.obs_parent = query->obs_span;
+        }
     };
     const auto note_accepted = [&](int pick) {
         ++counters_.accepted;
@@ -743,6 +765,10 @@ host::SendStatus FederatedDispatcher::TryInject(
             ++slot.slices[static_cast<std::size_t>(slice_index)].in_flight;
         }
         if (is_probe) slot.probe_in_flight = true;
+        if (query->obs_span != 0) {
+            obs_->tracer.Instant("inject", query->obs_trace, query->obs_span,
+                                 0, injected_at, pod_index, slice_index);
+        }
         return host::SendStatus::kOk;
     }
     const auto status = slot.context->pool().Inject(
@@ -754,6 +780,10 @@ host::SendStatus FederatedDispatcher::TryInject(
     if (status == host::SendStatus::kOk) {
         ++slot.in_flight;
         if (is_probe) slot.probe_in_flight = true;
+        if (query->obs_span != 0) {
+            obs_->tracer.Instant("inject", query->obs_trace, query->obs_span,
+                                 0, injected_at, pod_index, /*a2=*/-1);
+        }
     } else {
         ++slot.stat_rejected;
     }
@@ -831,6 +861,11 @@ void FederatedDispatcher::OnShardReject(int pod_index,
     if (query->retries_left > 0) {
         --query->retries_left;
         ++counters_.failovers;
+        if (query->obs_span != 0) {
+            obs_->tracer.Instant("failover", query->obs_trace,
+                                 query->obs_span, 0, simulator_->Now(),
+                                 pod_index, query->retries_left);
+        }
         const int failed_pod = pod_index;
         simulator_->ScheduleAfter(
             config_.retry_backoff, [this, failed_pod, query]() mutable {
@@ -880,6 +915,11 @@ void FederatedDispatcher::OnPodResult(int pod_index,
     // survivors need no warm-up) and re-inject away from the failure.
     --query->retries_left;
     ++counters_.failovers;
+    if (query->obs_span != 0) {
+        obs_->tracer.Instant("failover", query->obs_trace, query->obs_span, 0,
+                             simulator_->Now(), pod_index,
+                             query->retries_left);
+    }
     simulator_->ScheduleAfter(
         config_.retry_backoff, [this, pod_index, query]() mutable {
             Failover(std::move(query), pod_index);
@@ -941,6 +981,14 @@ void FederatedDispatcher::Deliver(std::shared_ptr<QueryContext> query,
         ++counters_.completed;
     } else {
         ++counters_.lost;
+    }
+    if (obs_latency_us_ != nullptr) {
+        obs_latency_us_->ObserveLatency(result.latency);
+    }
+    if (query->obs_span != 0) {
+        obs_->tracer.Span("query", query->obs_trace, query->obs_span,
+                          query->obs_parent, 0, query->accepted_at,
+                          simulator_->Now(), result.ok ? 1 : 0, result.pod);
     }
     if (query->on_complete) query->on_complete(result);
 }

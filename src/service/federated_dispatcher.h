@@ -42,6 +42,7 @@
 #include "host/slot_dma_channel.h"
 #include "mgmt/health_forecaster.h"
 #include "mgmt/pod_context.h"
+#include "obs/observability.h"
 #include "service/ranking_service.h"
 #include "sim/simulator.h"
 #include "sim/simulator_group.h"
@@ -296,6 +297,17 @@ class FederatedDispatcher {
     };
     const Counters& counters() const { return counters_; }
 
+    /**
+     * Attach the coordinator shard's observability surface: accepted
+     * queries get a "query" span (parenting any incoming gather
+     * context, and stamping their own span id into the request so
+     * pod-side document spans nest under it), failovers and injects
+     * emit instants, and completion latency feeds a histogram. Null
+     * detaches. The dispatcher's Counters are mirrored separately by a
+     * registry pull-collector (see FederationTestbed).
+     */
+    void SetObservability(obs::ShardObs* obs);
+
   private:
     /** Coordinator-side state of one attached ring sub-shard slice. */
     struct SliceState {
@@ -374,6 +386,10 @@ class FederatedDispatcher {
         std::function<void(const ScoreResult&)> on_complete;
         Time accepted_at = 0;
         int retries_left = 0;
+        /** Tracing: this query's span and its timeline (0 = untraced). */
+        std::uint64_t obs_trace = 0;
+        std::uint64_t obs_span = 0;
+        std::uint64_t obs_parent = 0;
     };
 
     /**
@@ -452,6 +468,11 @@ class FederatedDispatcher {
     /** Pods currently shed (skips the per-query stats scan when 0). */
     int shed_pod_count_ = 0;
     Counters counters_;
+
+    /** Coordinator-shard observability surface (null = off). */
+    obs::ShardObs* obs_ = nullptr;
+    /** Cached registry pointer — hot paths never do a name lookup. */
+    obs::Histogram* obs_latency_us_ = nullptr;
 };
 
 }  // namespace catapult::service

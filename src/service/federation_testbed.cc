@@ -44,8 +44,17 @@ FederationTestbed::FederationTestbed(Config config)
         group_ = std::make_unique<sim::SimulatorGroup>(group_config);
         coordinator_ = &group_->shard(0);
     }
+    if (config_.observability.enabled) {
+        // One ShardObs per simulator shard; the whole plane collapses
+        // to a single shard when every layer shares one simulator.
+        const int obs_shards =
+            group_ ? 1 + config_.pod_count * slices_per_pod_ : 1;
+        plane_ = std::make_unique<obs::ObservabilityPlane>(
+            obs_shards, config_.observability);
+    }
     dispatcher_ = std::make_unique<FederatedDispatcher>(coordinator_,
                                                         config_.dispatcher);
+    if (plane_) dispatcher_->SetObservability(plane_->shard(0));
     if (group_) {
         FederatedDispatcher::ShardBinding bind;
         bind.group = group_.get();
@@ -77,6 +86,9 @@ FederationTestbed::FederationTestbed(Config config)
         sim::Simulator* pod_sim =
             group_ ? &group_->shard(1 + k) : &simulator_;
         pod_config.shard_index = group_ ? 1 + k : -1;
+        if (plane_) {
+            pod_config.obs = plane_->shard(group_ ? 1 + k : 0);
+        }
         pods_.push_back(
             std::make_unique<mgmt::PodContext>(pod_sim,
                                                std::move(pod_config)));
@@ -91,6 +103,122 @@ FederationTestbed::FederationTestbed(Config config)
     front_end_ = std::make_unique<SessionFrontEnd>(coordinator_,
                                                    dispatcher_.get(),
                                                    fe_config);
+    if (plane_) {
+        front_end_->SetObservability(plane_->shard(0));
+        InstallObservability();
+    }
+}
+
+void FederationTestbed::InstallObservability() {
+    // Cadence driver: the group's epoch barrier is the race-free merge
+    // point (workers provably idle on the driving thread); the classic
+    // single simulator self-drives with a daemon tick instead.
+    if (group_) {
+        group_->SetBarrierHook(
+            [p = plane_.get()](Time frontier) { p->AdvanceTo(frontier); });
+    } else {
+        plane_->AttachSimulator(&simulator_);
+    }
+    // Pull-collector mirroring pre-existing layer counters into the
+    // merged registry at every merge. Absolute writes (Set) keep it
+    // idempotent; every value here is simulated-time-deterministic
+    // except the wall-clock ones, registered volatile so the
+    // deterministic export stays mode-identical.
+    plane_->AddCollector([this](obs::MetricRegistry& reg) {
+        const auto& d = dispatcher_->counters();
+        reg.counter("federation.accepted")->Set(d.accepted);
+        reg.counter("federation.rejected")->Set(d.rejected);
+        reg.counter("federation.completed")->Set(d.completed);
+        reg.counter("federation.lost")->Set(d.lost);
+        reg.counter("federation.failovers")->Set(d.failovers);
+        reg.counter("federation.affinity_hits")->Set(d.affinity_hits);
+        reg.counter("federation.breaker_trips")->Set(d.breaker_trips);
+        reg.counter("federation.sheds")->Set(d.sheds);
+        reg.counter("federation.readmissions")->Set(d.readmissions);
+        const auto& s = front_end_->scatter().counters();
+        reg.counter("frontend.gathers_submitted")->Set(s.submitted);
+        reg.counter("frontend.gathers_delivered")->Set(s.delivered);
+        reg.counter("frontend.gathers_partial")->Set(s.partial);
+        reg.counter("frontend.docs_scattered")->Set(s.docs_scattered);
+        reg.counter("frontend.docs_answered")->Set(s.docs_answered);
+        reg.counter("frontend.docs_failed")->Set(s.docs_failed);
+        reg.counter("frontend.stragglers")->Set(s.stragglers);
+        reg.counter("frontend.merges")->Set(s.merges);
+        reg.counter("frontend.merge_wall_ns", true)->Set(s.merge_wall_ns);
+        const auto& fe = front_end_->counters();
+        reg.counter("frontend.sessions_opened")->Set(fe.sessions_opened);
+        reg.counter("frontend.sessions_closed")->Set(fe.sessions_closed);
+        reg.counter("frontend.submitted")->Set(fe.submitted);
+        reg.counter("frontend.refused")->Set(fe.refused);
+        for (int k = 0; k < pod_count(); ++k) {
+            // Ring sub-shard slices present as one pod: sum across them.
+            std::uint64_t dispatched = 0, recoveries = 0, injected = 0,
+                          completed = 0, timeouts = 0, investigations = 0,
+                          fdr_postmortem = 0;
+            std::int64_t rings_available = 0;
+            for (int r = 0; r < slices_per_pod_; ++r) {
+                mgmt::PodContext& p = pod_slice(k, r);
+                const auto& pc = p.pool().counters();
+                dispatched += pc.dispatched;
+                recoveries += pc.recoveries;
+                rings_available += p.pool().available_rings();
+                const auto rc = p.pool().AggregateRingCounters();
+                injected += rc.injected;
+                completed += rc.completed;
+                timeouts += rc.timeouts;
+                const auto& hc = p.health_monitor().counters();
+                investigations += hc.investigations;
+                fdr_postmortem += hc.fdr_postmortem_records;
+            }
+            std::string prefix = "pod";
+            prefix += std::to_string(k);
+            prefix += ".";
+            reg.counter(prefix + "dispatched")->Set(dispatched);
+            reg.counter(prefix + "recoveries")->Set(recoveries);
+            reg.counter(prefix + "injected")->Set(injected);
+            reg.counter(prefix + "completed")->Set(completed);
+            reg.counter(prefix + "timeouts")->Set(timeouts);
+            reg.counter(prefix + "investigations")->Set(investigations);
+            reg.counter(prefix + "fdr_postmortem_records")
+                ->Set(fdr_postmortem);
+            reg.gauge(prefix + "rings_available")->Set(rings_available);
+        }
+        if (group_ != nullptr) {
+            // Executor profiling. Round/message/frontier counts and
+            // mailbox high-water marks are mode-identical (the rounds
+            // are); per-worker item/wall-time split depends on the
+            // work-stealing interleave, so those are volatile.
+            const auto& prof = group_->profile();
+            reg.counter("exec.rounds")->Set(prof.rounds);
+            reg.counter("exec.round_items")->Set(prof.round_items);
+            reg.counter("exec.messages_drained")->Set(prof.messages_drained);
+            reg.gauge("exec.frontier_advance_ps")
+                ->Set(prof.frontier_advance);
+            const int n = group_->shard_count();
+            for (int f = 0; f < n; ++f) {
+                for (int t = 0; t < n; ++t) {
+                    const std::uint32_t hwm = prof.edge_mailbox_hwm
+                        [static_cast<std::size_t>(f * n + t)];
+                    if (hwm == 0) continue;
+                    std::string name = "exec.mailbox_hwm.";
+                    name += std::to_string(f);
+                    name += ".";
+                    name += std::to_string(t);
+                    reg.gauge(name, obs::GaugeMerge::kMax)
+                        ->Set(static_cast<std::int64_t>(hwm));
+                }
+            }
+            for (std::size_t e = 0; e < prof.executors.size(); ++e) {
+                const auto& ex = prof.executors[e];
+                std::string prefix = "exec.worker";
+                prefix += std::to_string(e);
+                prefix += ".";
+                reg.counter(prefix + "items", true)->Set(ex.items);
+                reg.counter(prefix + "busy_ns", true)->Set(ex.busy_ns);
+                reg.counter(prefix + "wait_ns", true)->Set(ex.wait_ns);
+            }
+        }
+    });
 }
 
 void FederationTestbed::BuildPodSlices(int pod_index) {
@@ -141,6 +269,7 @@ void FederationTestbed::BuildPodSlices(int pod_index) {
         }
         sc.service.service_name += "/ring" + std::to_string(r);
         sc.shard_index = shard;
+        if (plane_) sc.obs = plane_->shard(shard);
         pods_.push_back(std::make_unique<mgmt::PodContext>(
             &group_->shard(shard), std::move(sc)));
         FederatedDispatcher::PodSlice slice;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "mgmt/pod_context.h"
+#include "obs/observability.h"
 #include "service/federated_dispatcher.h"
 #include "service/session_front_end.h"
 #include "sim/simulator.h"
@@ -83,6 +84,18 @@ class FederationTestbed {
             /** Coordinator <-> pod network leg of a derived hop. */
             Time front_door_network = Microseconds(7);
         } sharding;
+
+        /**
+         * Observability plane (metrics registry + distributed tracing +
+         * executor profiling). Off by default — zero overhead beyond
+         * untaken branches. On: one ShardObs per simulator shard (the
+         * coordinator's feeds the dispatcher/scatter/session tier, each
+         * pod slice's feeds its rings and Health Monitor), merged
+         * race-free at epoch barriers (or a cadence daemon when
+         * unsharded). The deterministic exports are byte-identical
+         * between lock-step and parallel execution.
+         */
+        obs::ObservabilityPlane::Config observability;
     };
 
     explicit FederationTestbed(Config config);
@@ -142,16 +155,22 @@ class FederationTestbed {
     FederatedDispatcher& dispatcher() { return *dispatcher_; }
     /** The session-oriented scatter-gather door over the dispatcher. */
     SessionFrontEnd& front_end() { return *front_end_; }
+    /** Null unless Config::observability.enabled. */
+    obs::ObservabilityPlane* observability() { return plane_.get(); }
 
   private:
     /** Ring-sub-shard construction of pod `pod_index` (R>1 slices). */
     void BuildPodSlices(int pod_index);
+    /** Register the layer-counter pull-collectors + cadence driver. */
+    void InstallObservability();
 
     Config config_;
     sim::Simulator simulator_;
     /** Destroyed after pods_/dispatcher_ (declared before them). */
     std::unique_ptr<sim::SimulatorGroup> group_;
     sim::Simulator* coordinator_ = nullptr;
+    /** Declared before pods_/dispatcher_: they hold ShardObs*. */
+    std::unique_ptr<obs::ObservabilityPlane> plane_;
     Time inject_hop_ = 0;
     Time completion_hop_ = 0;
     int slices_per_pod_ = 1;

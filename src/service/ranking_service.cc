@@ -130,6 +130,13 @@ DocContext* RankingService::FindContext(std::uint64_t trace_id) {
     return it == in_flight_.end() ? nullptr : &it->second;
 }
 
+void RankingService::SetObservability(obs::ShardObs* obs) {
+    obs_ = obs;
+    obs_doc_latency_us_ =
+        obs == nullptr ? nullptr
+                       : obs->registry.histogram("pod.doc_latency_us");
+}
+
 rank::RankingFunction& RankingService::FunctionFor(std::uint32_t model_id) {
     auto it = functions_.find(model_id);
     if (it == functions_.end()) {
@@ -206,6 +213,12 @@ host::SendStatus RankingService::InjectOnSlot(
     if (config_.compute_scores) {
         ctx.store = std::make_unique<rank::FeatureStore>();
     }
+    if (obs_ != nullptr && obs_->tracing() &&
+        request.query.obs_trace != 0) {
+        ctx.obs_trace = request.query.obs_trace;
+        ctx.obs_parent = request.query.obs_parent;
+        ctx.obs_span = obs_->tracer.NextSpanId();
+    }
 
     auto packet = shell::MakePacket(
         shell::PacketType::kScoringRequest, ctx.injector,
@@ -253,6 +266,19 @@ void RankingService::OnResponse(std::uint64_t trace_id, bool ok, float score,
     result.score = ctx.final_score;
     result.latency = simulator_->Now() - ctx.injected_at;
     ++counters_.completed;
+    if (obs_doc_latency_us_ != nullptr) {
+        obs_doc_latency_us_->ObserveLatency(result.latency);
+    }
+    if (ctx.obs_span != 0) {
+        // The score's DMA landing, then the whole document journey —
+        // keyed by the FDR-visible trace id so recorder records join
+        // this span in the stitched timeline.
+        obs_->tracer.Instant("dma_response", ctx.obs_trace, ctx.obs_span,
+                             trace_id, simulator_->Now(), ctx.slot, ok ? 1 : 0);
+        obs_->tracer.Span("doc", ctx.obs_trace, ctx.obs_span, ctx.obs_parent,
+                          trace_id, ctx.injected_at, simulator_->Now(),
+                          ok ? 1 : 0, ctx.slot);
+    }
     if (config_.archive_traces) {
         ArchivedTrace trace;
         trace.request = ctx.request;
@@ -276,6 +302,12 @@ void RankingService::CompleteTimeout(std::uint64_t trace_id) {
     result.trace_id = trace_id;
     result.latency = simulator_->Now() - it->second.injected_at;
     ++counters_.timeouts;
+    if (it->second.obs_span != 0) {
+        obs_->tracer.Span("doc", it->second.obs_trace, it->second.obs_span,
+                          it->second.obs_parent, trace_id,
+                          it->second.injected_at, simulator_->Now(), 0,
+                          it->second.slot);
+    }
     auto cb = std::move(it->second.on_complete);
     in_flight_.erase(it);
     if (cb) cb(result);

@@ -25,6 +25,7 @@
 #include "host/host_server.h"
 #include "mgmt/mapping_manager.h"
 #include "mgmt/pod_scheduler.h"
+#include "obs/observability.h"
 #include "rank/document.h"
 #include "rank/model.h"
 #include "rank/queue_manager.h"
@@ -70,6 +71,10 @@ struct DocContext {
     std::unique_ptr<rank::FeatureStore> store;  ///< null when timing-only
     float final_score = 0.0f;
     std::function<void(const ScoreResult&)> on_complete;
+    /** Tracing context joined from request.query (0 = untraced). */
+    std::uint64_t obs_trace = 0;
+    std::uint64_t obs_span = 0;
+    std::uint64_t obs_parent = 0;
 };
 
 class RankingService {
@@ -225,6 +230,15 @@ class RankingService {
         return *roles_[static_cast<std::size_t>(ring_index)];
     }
 
+    /**
+     * Attach this ring's observability shard. Traced documents (query
+     * carrying trace context) open a "doc" span from injection to
+     * score/timeout, keyed by the FDR-visible trace id; StageRole hops
+     * nest under it.
+     */
+    void SetObservability(obs::ShardObs* obs);
+    obs::ShardObs* observability() { return obs_; }
+
   private:
     friend class StageRole;
 
@@ -251,6 +265,8 @@ class RankingService {
         functions_;
     std::uint64_t next_trace_id_;  ///< Starts at trace_id_base + 1.
     Counters counters_;
+    obs::ShardObs* obs_ = nullptr;
+    obs::Histogram* obs_doc_latency_us_ = nullptr;
 };
 
 }  // namespace catapult::service

@@ -86,6 +86,14 @@ ScatterGatherDispatcher::ScatterGatherDispatcher(
     assert(config_.max_reject_retries >= 0);
 }
 
+void ScatterGatherDispatcher::SetObservability(obs::ShardObs* obs) {
+    obs_ = obs;
+    obs_gather_latency_us_ =
+        obs == nullptr
+            ? nullptr
+            : obs->registry.histogram("frontend.gather_latency_us");
+}
+
 std::uint64_t ScatterGatherDispatcher::Submit(
     const rank::Query& query, std::vector<rank::CompressedRequest> docs,
     std::size_t top_k, Time budget,
@@ -112,6 +120,17 @@ std::uint64_t ScatterGatherDispatcher::Submit(
     gather->doc_assigned.assign(n, -1);
     gather->doc_thread.assign(n, 0);
 
+    if (obs_ != nullptr && obs_->tracing()) {
+        // Join the caller's trace when the query already carries one
+        // (the session front end roots the timeline); otherwise this
+        // gather roots a fresh trace.
+        gather->obs_trace = query.obs_trace != 0
+                                ? query.obs_trace
+                                : obs_->tracer.NextTraceId();
+        gather->obs_parent = query.obs_parent;
+        gather->obs_span = obs_->tracer.NextSpanId();
+    }
+
     // Partition across the pods eligible *now*: a shed, latched-out or
     // capped pod gets no shard. The assignment is only a preference —
     // the federated dispatcher falls back to its normal policy (and
@@ -121,6 +140,8 @@ std::uint64_t ScatterGatherDispatcher::Submit(
     const std::vector<int> eligible = dispatcher_->EligiblePods();
     for (std::size_t i = 0; i < n; ++i) {
         gather->docs[i].query = query;
+        gather->docs[i].query.obs_trace = gather->obs_trace;
+        gather->docs[i].query.obs_parent = gather->obs_span;
         if (!eligible.empty()) {
             const int target = eligible[i % eligible.size()];
             gather->doc_assigned[i] = target;
@@ -273,6 +294,19 @@ void ScatterGatherDispatcher::DeliverGather(
     result.latency = simulator_->Now() - gather->submitted_at;
     ++counters_.delivered;
     if (result.partial) ++counters_.partial;
+    if (obs_gather_latency_us_ != nullptr) {
+        obs_gather_latency_us_->ObserveLatency(result.latency);
+    }
+    if (gather->obs_span != 0) {
+        obs_->tracer.Instant("merge", gather->obs_trace, gather->obs_span, 0,
+                             simulator_->Now(),
+                             static_cast<std::int64_t>(result.top.size()),
+                             static_cast<std::int64_t>(result.answered));
+        obs_->tracer.Span("gather", gather->obs_trace, gather->obs_span,
+                          gather->obs_parent, 0, gather->submitted_at,
+                          simulator_->Now(), result.partial ? 0 : 1,
+                          static_cast<std::int64_t>(result.doc_count));
+    }
     if (gather->on_complete) gather->on_complete(result);
 }
 

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "obs/observability.h"
 #include "rank/document.h"
 #include "service/federated_dispatcher.h"
 #include "service/ranking_service.h"
@@ -186,6 +187,14 @@ class ScatterGatherDispatcher {
     const Counters& counters() const { return counters_; }
     const Config& config() const { return config_; }
 
+    /**
+     * Attach the front door's observability shard. Each gather opens a
+     * "gather" root span (joining the caller's trace context when the
+     * query already carries one) and stamps its per-document requests
+     * so downstream dispatcher/pod spans nest under it.
+     */
+    void SetObservability(obs::ShardObs* obs);
+
   private:
     /** One shard's life inside a gather. */
     enum class DocState : char {
@@ -215,6 +224,10 @@ class ScatterGatherDispatcher {
         std::vector<PodShard> shards;
         std::function<void(const GatherResult&)> on_complete;
         std::function<void()> on_straggler;
+        /** Tracing context (0 when the gather is untraced). */
+        std::uint64_t obs_trace = 0;
+        std::uint64_t obs_span = 0;
+        std::uint64_t obs_parent = 0;
     };
 
     void InjectShard(const std::shared_ptr<Gather>& gather, std::size_t index,
@@ -232,6 +245,8 @@ class ScatterGatherDispatcher {
     Config config_;
     std::uint64_t next_gather_id_ = 0;
     Counters counters_;
+    obs::ShardObs* obs_ = nullptr;
+    obs::Histogram* obs_gather_latency_us_ = nullptr;
 };
 
 }  // namespace catapult::service

@@ -459,4 +459,10 @@ RankingService::Counters ServicePool::AggregateRingCounters() const {
     return total;
 }
 
+void ServicePool::SetObservability(obs::ShardObs* obs) {
+    for (auto& slot : rings_) {
+        slot.service->SetObservability(obs);
+    }
+}
+
 }  // namespace catapult::service

@@ -218,6 +218,9 @@ class ServicePool {
     /** Sum of the per-ring service counters. */
     RankingService::Counters AggregateRingCounters() const;
 
+    /** Attach the pod's observability shard to every ring. */
+    void SetObservability(obs::ShardObs* obs);
+
   private:
     struct RingSlot {
         mgmt::RingPlacement placement;

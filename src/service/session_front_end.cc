@@ -60,6 +60,11 @@ SessionFrontEnd::Session* SessionFrontEnd::FindSession(std::uint64_t id) {
     return it == sessions_.end() ? nullptr : &it->second;
 }
 
+void SessionFrontEnd::SetObservability(obs::ShardObs* obs) {
+    obs_ = obs;
+    scatter_.SetObservability(obs);
+}
+
 SessionFrontEnd::SessionStats SessionFrontEnd::session_stats(
     std::uint64_t session_id) const {
     const auto it = sessions_.find(session_id);
@@ -104,7 +109,18 @@ std::uint64_t SessionFrontEnd::Submit(
             ++open->stats.stragglers;
         }
     };
-    return scatter_.Submit(query, std::move(docs), top_k, budget,
+    rank::Query traced = query;
+    if (obs_ != nullptr && obs_->tracing() && traced.obs_trace == 0) {
+        // Root the query's timeline at the door: the scatter tier joins
+        // this trace, and the "session" instant pins which session the
+        // whole tree belongs to.
+        traced.obs_trace = obs_->tracer.NextTraceId();
+        obs_->tracer.Instant("session", traced.obs_trace, 0, 0,
+                             simulator_->Now(),
+                             static_cast<std::int64_t>(session_id),
+                             static_cast<std::int64_t>(docs.size()));
+    }
+    return scatter_.Submit(traced, std::move(docs), top_k, budget,
                            std::move(wrapped),
                            &session->stats.connection_pool,
                            std::move(straggler));

@@ -112,6 +112,14 @@ class SessionFrontEnd {
     const Counters& counters() const { return counters_; }
     const Config& config() const { return config_; }
 
+    /**
+     * Attach the front door's observability shard (forwarded to the
+     * scatter tier). Each traced submit roots its query's timeline here
+     * and stamps a "session" instant carrying the session id, so the
+     * stitched trace ties every gather back to the owning session.
+     */
+    void SetObservability(obs::ShardObs* obs);
+
   private:
     struct Session {
         SessionStats stats;
@@ -126,6 +134,7 @@ class SessionFrontEnd {
     std::uint64_t next_session_id_ = 0;
     int next_thread_offset_ = 0;
     Counters counters_;
+    obs::ShardObs* obs_ = nullptr;
 };
 
 }  // namespace catapult::service

@@ -192,6 +192,17 @@ void StageRole::StartService(shell::PacketPtr packet) {
     }
     const Time service = service_->StageServiceTime(
         stage_, ctx->request, ctx->request.query.model_id);
+    obs::ShardObs* obs = service_->observability();
+    if (obs != nullptr && obs->tracing() && ctx->obs_span != 0) {
+        // The stage interval is deterministic once service starts, so
+        // the span is recorded up front (a ring redeploy mid-service
+        // abandons the document to the host timeout; the optimistic
+        // span stays, mirroring the hardware's committed occupancy).
+        obs->tracer.Span("stage", ctx->obs_trace, obs->tracer.NextSpanId(),
+                         ctx->obs_span, packet->trace_id, simulator_->Now(),
+                         simulator_->Now() + service,
+                         static_cast<std::int64_t>(stage_), ring_index_);
+    }
     simulator_->ScheduleAfter(
         service, [this, guard = std::weak_ptr<char>(alive_),
                   packet = std::move(packet)]() mutable {

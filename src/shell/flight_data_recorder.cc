@@ -1,5 +1,7 @@
 #include "shell/flight_data_recorder.h"
 
+#include <sstream>
+
 namespace catapult::shell {
 
 void FlightDataRecorder::Record(const FdrRecord& record) {
@@ -37,6 +39,32 @@ std::vector<FdrRecord> FlightDataRecorder::StreamOut() const {
         out.push_back(ring_[i % kWindow]);
     }
     return out;
+}
+
+std::string FlightDataRecorder::DumpJson() const {
+    std::ostringstream out;
+    out << "{\"power_on\":{\"sl3_lanes_locked\":"
+        << (power_on_.sl3_lanes_locked ? "true" : "false")
+        << ",\"plls_locked\":" << (power_on_.plls_locked ? "true" : "false")
+        << ",\"resets_sequenced\":"
+        << (power_on_.resets_sequenced ? "true" : "false")
+        << ",\"dram_calibrated\":"
+        << (power_on_.dram_calibrated ? "true" : "false")
+        << ",\"recorded_at\":" << power_on_.recorded_at << "}"
+        << ",\"total_recorded\":" << total_
+        << ",\"spill_overflow\":" << spill_overflow_ << ",\"records\":[";
+    bool first = true;
+    for (const FdrRecord& r : StreamOutExtended()) {
+        if (!first) out << ",";
+        first = false;
+        out << "{\"ts\":" << r.timestamp << ",\"trace_id\":" << r.trace_id
+            << ",\"type\":\"" << ToString(r.type) << "\",\"size\":" << r.size
+            << ",\"ingress\":\"" << ToString(r.ingress) << "\",\"egress\":\""
+            << ToString(r.egress) << "\",\"queue_flits\":" << r.queue_flits
+            << "}";
+    }
+    out << "]}";
+    return out.str();
 }
 
 void FlightDataRecorder::Reset() {

@@ -63,6 +63,13 @@ class FlightDataRecorder {
     /** Stream out the window, oldest first (the PCIe health-check read). */
     std::vector<FdrRecord> StreamOut() const;
 
+    /**
+     * The postmortem export: power-on record plus the full history
+     * (DRAM spill + on-chip window, oldest first) as one JSON object —
+     * what a health check attaches to a fault report.
+     */
+    std::string DumpJson() const;
+
     std::uint64_t total_recorded() const { return total_; }
     std::size_t window_occupancy() const {
         return total_ >= kWindow ? kWindow : static_cast<std::size_t>(total_);

@@ -2,8 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 namespace catapult::sim {
+namespace {
+
+std::uint64_t MonotonicNs() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace
 
 SimulatorGroup::SimulatorGroup(const Config& config) : config_(config) {
     assert(config_.shards >= 1);
@@ -27,6 +38,9 @@ SimulatorGroup::SimulatorGroup(const Config& config) : config_(config) {
     }
     closure_.assign(n * n, kUnreachable);
 
+    profile_.edge_mailbox_hwm.assign(n * n, 0);
+    edge_count_scratch_.assign(n, 0);
+
     executors_ = 1;
     if (config_.parallel) {
         int cap = config_.max_threads > 0
@@ -38,6 +52,7 @@ SimulatorGroup::SimulatorGroup(const Config& config) : config_(config) {
     // Executor 0 is the driving thread; spawn the rest. All executors
     // steal off the shared round work list, so there is no static
     // shard-to-executor assignment.
+    profile_.executors.resize(static_cast<std::size_t>(executors_));
     for (int e = 1; e < executors_; ++e) {
         workers_.emplace_back([this, e] { WorkerLoop(e); });
     }
@@ -150,11 +165,26 @@ bool SimulatorGroup::AllShardsForegroundEmpty() const {
 }
 
 void SimulatorGroup::DrainMailboxes() {
+    const auto n = static_cast<std::size_t>(shard_count());
     drain_scratch_.clear();
-    for (auto& box : outboxes_) {
-        for (auto& msg : box.msgs) drain_scratch_.push_back(std::move(msg));
+    for (std::size_t from = 0; from < n; ++from) {
+        Outbox& box = outboxes_[from];
+        if (box.msgs.empty()) continue;
+        // Per-edge depth high-water: the deepest one-round backlog each
+        // (source, destination) mailbox ever reached. Deterministic —
+        // the outbox contents are a function of the round schedule.
+        std::fill(edge_count_scratch_.begin(), edge_count_scratch_.end(), 0u);
+        for (auto& msg : box.msgs) {
+            ++edge_count_scratch_[static_cast<std::size_t>(msg.to)];
+            drain_scratch_.push_back(std::move(msg));
+        }
+        for (std::size_t to = 0; to < n; ++to) {
+            std::uint32_t& hwm = profile_.edge_mailbox_hwm[from * n + to];
+            hwm = std::max(hwm, edge_count_scratch_[to]);
+        }
         box.msgs.clear();
     }
+    profile_.messages_drained += drain_scratch_.size();
     // Canonical delivery order. Destination-shard sequence numbers are
     // assigned in this order, so same-(time, priority) ties inside a
     // shard resolve identically no matter which thread produced them.
@@ -242,7 +272,11 @@ void SimulatorGroup::BuildRound(Time horizon) {
     }
 }
 
-void SimulatorGroup::RunItem(const RoundItem& item) {
+void SimulatorGroup::RunItem(const RoundItem& item, int executor) {
+    ExecutorProfile& prof =
+        profile_.executors[static_cast<std::size_t>(executor)];
+    ++prof.items;
+    const std::uint64_t t0 = config_.profile ? MonotonicNs() : 0;
     Simulator& s = shard(item.shard);
     switch (item.kind) {
         case RunKind::kBefore:
@@ -255,9 +289,10 @@ void SimulatorGroup::RunItem(const RoundItem& item) {
             s.Run();
             break;
     }
+    if (config_.profile) prof.busy_ns += MonotonicNs() - t0;
 }
 
-void SimulatorGroup::StealLoop(bool adopt_fired) {
+void SimulatorGroup::StealLoop(int executor, bool adopt_fired) {
     const int count = static_cast<int>(round_items_.size());
     for (;;) {
         const int i = next_item_.fetch_add(1, std::memory_order_relaxed);
@@ -268,20 +303,22 @@ void SimulatorGroup::StealLoop(bool adopt_fired) {
             // counter; bank the delta so the driving thread can adopt
             // it at settle time regardless of who ran which shard.
             const std::uint64_t before = GlobalEventsFired();
-            RunItem(item);
+            RunItem(item, executor);
             worker_fired_.fetch_add(GlobalEventsFired() - before,
                                     std::memory_order_relaxed);
         } else {
-            RunItem(item);
+            RunItem(item, executor);
         }
     }
 }
 
 void SimulatorGroup::ExecuteRound() {
+    profile_.round_items += round_items_.size();
     if (round_items_.empty()) return;
+    ++profile_.rounds;
     if (executors_ == 1) {
         // Lock-step reference mode: shard-id order on the driving thread.
-        for (const RoundItem& item : round_items_) RunItem(item);
+        for (const RoundItem& item : round_items_) RunItem(item, 0);
         return;
     }
     {
@@ -291,30 +328,66 @@ void SimulatorGroup::ExecuteRound() {
         ++generation_;
     }
     cv_work_.notify_all();
-    StealLoop(/*adopt_fired=*/false);
+    StealLoop(/*executor=*/0, /*adopt_fired=*/false);
+    const std::uint64_t w0 = config_.profile ? MonotonicNs() : 0;
     std::unique_lock<std::mutex> lock(mu_);
     cv_done_.wait(lock, [this] { return remaining_ == 0; });
+    if (config_.profile) profile_.executors[0].wait_ns += MonotonicNs() - w0;
 }
 
 void SimulatorGroup::WorkerLoop(int executor) {
-    (void)executor;
     std::uint64_t seen_generation = 0;
     for (;;) {
         {
+            const std::uint64_t w0 = config_.profile ? MonotonicNs() : 0;
             std::unique_lock<std::mutex> lock(mu_);
             cv_work_.wait(lock, [this, seen_generation] {
                 return shutdown_ || generation_ != seen_generation;
             });
+            if (config_.profile) {
+                profile_.executors[static_cast<std::size_t>(executor)]
+                    .wait_ns += MonotonicNs() - w0;
+            }
             if (shutdown_) return;
             seen_generation = generation_;
         }
-        StealLoop(/*adopt_fired=*/true);
+        StealLoop(executor, /*adopt_fired=*/true);
         {
             std::lock_guard<std::mutex> lock(mu_);
             --remaining_;
         }
         cv_done_.notify_one();
     }
+}
+
+Time SimulatorGroup::CurrentFrontier() const {
+    Time frontier = kUnreachable;
+    for (int i = 0; i < shard_count(); ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        if (done_[s]) continue;
+        frontier = std::min(frontier, round_end_[s]);
+    }
+    if (frontier == kUnreachable) {
+        // Every shard free-running (Run end-game) or finished
+        // (RunUntil): the clocks themselves are the frontier.
+        frontier = 0;
+        for (const auto& s : shards_) frontier = std::max(frontier, s->Now());
+    }
+    return frontier;
+}
+
+void SimulatorGroup::FinishRound() {
+    DrainMailboxes();
+    const Time frontier = CurrentFrontier();
+    if (frontier > last_frontier_) {
+        profile_.frontier_advance += frontier - last_frontier_;
+        last_frontier_ = frontier;
+    }
+    // Post-barrier: mailboxes drained on this (the driving) thread,
+    // workers idle behind cv_done_ — cross-shard reads are race-free
+    // and the round schedule is mode-identical, so anything the hook
+    // derives is too.
+    if (barrier_hook_) barrier_hook_(frontier);
 }
 
 std::uint64_t SimulatorGroup::SettleEventsFired() {
@@ -345,7 +418,7 @@ std::uint64_t SimulatorGroup::Run() {
         // path), so every round makes progress.
         assert(!round_items_.empty());
         ExecuteRound();
-        DrainMailboxes();
+        FinishRound();
     }
     running_ = false;
     for (const auto& s : shards_) now_ = std::max(now_, s->Now());
@@ -357,7 +430,7 @@ std::uint64_t SimulatorGroup::RunUntil(Time horizon) {
     for (;;) {
         BuildRound(horizon);
         ExecuteRound();
-        DrainMailboxes();
+        FinishRound();
         if (std::find(done_.begin(), done_.end(), 0) == done_.end()) break;
     }
     running_ = false;

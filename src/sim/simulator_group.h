@@ -43,6 +43,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -78,8 +79,49 @@ class SimulatorGroup {
          * force real threads even on single-core CI runners.
          */
         int max_threads = 0;
+        /**
+         * Wall-clock executor profiling: time each RunItem and each
+         * barrier wait with steady_clock. Off, the profile still
+         * carries the deterministic counters (rounds, items per
+         * executor, epoch widths, mailbox high-water marks) — those
+         * cost a few integer ops per round.
+         */
+        bool profile = false;
         /** Queue kind etc. for every shard. */
         SimulatorConfig shard;
+    };
+
+    /** One executor's share of the work-stealing pool. */
+    struct ExecutorProfile {
+        /** Round items this executor claimed off the ticket. */
+        std::uint64_t items = 0;
+        /** Wall nanoseconds inside RunItem (Config::profile only). */
+        std::uint64_t busy_ns = 0;
+        /**
+         * Wall nanoseconds blocked at the barrier (Config::profile
+         * only): for executor 0 the cv_done_ wait after its own steal
+         * loop ran dry, for workers the cv_work_ wait for the next
+         * round.
+         */
+        std::uint64_t wait_ns = 0;
+    };
+
+    /** Run-loop statistics; deterministic except the wall-clock fields
+     *  inside `executors`. */
+    struct GroupProfile {
+        std::uint64_t rounds = 0;
+        /** Total ready-shard entries across all rounds. */
+        std::uint64_t round_items = 0;
+        /** Cross-shard messages drained at barriers. */
+        std::uint64_t messages_drained = 0;
+        /** Sum of conservative-frontier advances (total epoch width);
+         *  divide by `rounds` for the mean epoch. */
+        Time frontier_advance = 0;
+        /** Per-edge mailbox depth high-water marks, row-major
+         *  [from][to]: the most messages one round ever drained across
+         *  the edge. */
+        std::vector<std::uint32_t> edge_mailbox_hwm;
+        std::vector<ExecutorProfile> executors;
     };
 
     /** "No path": an edge nothing is ever posted across. */
@@ -123,6 +165,20 @@ class SimulatorGroup {
 
     /** Group time: the furthest frontier a completed run reached. */
     Time Now() const { return now_; }
+
+    /**
+     * Install a hook run on the driving thread after every barrier
+     * (mailboxes drained, workers idle) with the group's conservative
+     * frontier — the point where cross-shard state may be read
+     * race-free and rounds are identical in lock-step and parallel
+     * mode. The observability plane merges shard registries here.
+     */
+    void SetBarrierHook(std::function<void(Time)> hook) {
+        barrier_hook_ = std::move(hook);
+    }
+
+    /** Run-loop statistics (see GroupProfile). Read between runs. */
+    const GroupProfile& profile() const { return profile_; }
 
     /**
      * Post a cross-shard message: run `fn` on shard `to` at
@@ -202,8 +258,13 @@ class SimulatorGroup {
     /** Run round_items_ on the executor pool (or inline, lock-step). */
     void ExecuteRound();
     /** Claim items off round_items_ until the ticket runs out. */
-    void StealLoop(bool adopt_fired);
-    void RunItem(const RoundItem& item);
+    void StealLoop(int executor, bool adopt_fired);
+    void RunItem(const RoundItem& item, int executor);
+    /** Min round_end_ over unfinished shards (max shard clock when all
+     *  are free-running or done). */
+    Time CurrentFrontier() const;
+    /** Bookkeeping + barrier hook after one round's mailbox drain. */
+    void FinishRound();
     /** Reset per-run frontier bookkeeping. */
     void BeginRun();
     /** Sum shard EventsFired deltas; adopt worker-run deltas into TLS. */
@@ -239,6 +300,13 @@ class SimulatorGroup {
 
     Time now_ = 0;
     bool running_ = false;
+
+    std::function<void(Time)> barrier_hook_;
+    GroupProfile profile_;
+    /** Frontier at the previous barrier (epoch-width accounting). */
+    Time last_frontier_ = 0;
+    /** Per-destination scratch for edge high-water counting. */
+    std::vector<std::uint32_t> edge_count_scratch_;
 
     // Parallel-mode executor pool, guarded by mu_ except for the work
     // ticket. Workers exist only when config_.parallel and

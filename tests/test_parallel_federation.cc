@@ -48,6 +48,11 @@ struct ScenarioTrace {
     std::uint64_t pod1_dispatched = 0;
     std::uint64_t events_fired = 0;
     Time end_time = -1;
+    // Observability exports (deterministic views): the merged metric
+    // registry, the stitched span timeline, and every hub snapshot.
+    std::string metrics_json;
+    std::string trace_json;
+    std::string snapshots;
 };
 
 /**
@@ -70,6 +75,10 @@ ScenarioTrace RunShardedScenario(bool parallel) {
     // Force real worker threads even on a single-core CI runner: the
     // differential claim is about the algorithm, not the core count.
     config.sharding.max_threads = 3;
+    // Full observability on: the deterministic exports must be
+    // byte-identical across execution modes too.
+    config.observability.enabled = true;
+    config.observability.hub.cadence = Milliseconds(10);
     FederationTestbed bed(config);
     EXPECT_TRUE(bed.DeployAndSettle());
 
@@ -119,6 +128,14 @@ ScenarioTrace RunShardedScenario(bool parallel) {
     trace.pod0_dispatched = bed.pod(0).pool().counters().dispatched;
     trace.pod1_dispatched = bed.pod(1).pool().counters().dispatched;
     trace.end_time = bed.Now();
+    trace.metrics_json = bed.observability()->MetricsJson(false);
+    trace.trace_json = bed.observability()->TraceJson();
+    for (const auto& snap : bed.observability()->hub().snapshots()) {
+        trace.snapshots += std::to_string(snap.at);
+        trace.snapshots += ":";
+        trace.snapshots += snap.json;
+        trace.snapshots += "\n";
+    }
     return trace;
 }
 
@@ -145,6 +162,16 @@ TEST(ParallelFederation, ParallelRunIsBitIdenticalToLockstep) {
     EXPECT_EQ(lockstep.pod1_dispatched, threaded.pod1_dispatched);
     EXPECT_EQ(lockstep.events_fired, threaded.events_fired);
     EXPECT_EQ(lockstep.end_time, threaded.end_time);
+
+    // Observability exports, byte-for-byte: merged deterministic
+    // metrics, the stitched span timeline (span ids are per-shard
+    // deterministic), and every cadence snapshot the hub took.
+    EXPECT_FALSE(lockstep.metrics_json.empty());
+    EXPECT_NE(lockstep.trace_json.find("\"query\""), std::string::npos);
+    EXPECT_FALSE(lockstep.snapshots.empty());
+    EXPECT_EQ(lockstep.metrics_json, threaded.metrics_json);
+    EXPECT_EQ(lockstep.trace_json, threaded.trace_json);
+    EXPECT_EQ(lockstep.snapshots, threaded.snapshots);
 }
 
 // ---------------------------------------------------- batched injection

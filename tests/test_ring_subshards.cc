@@ -43,6 +43,9 @@ struct SubShardTrace {
     std::vector<std::uint64_t> slice_dispatched;
     std::uint64_t events_fired = 0;
     Time end_time = -1;
+    // Observability exports (deterministic views).
+    std::string metrics_json;
+    std::string trace_json;
 };
 
 FederationTestbed::Config SlicedConfig(bool parallel) {
@@ -61,6 +64,10 @@ FederationTestbed::Config SlicedConfig(bool parallel) {
     // Fewer executors than slices on purpose: the differential claim
     // covers the work-stealing pool, not just shard-per-thread.
     config.sharding.max_threads = 3;
+    // Observability on: the sliced pod's merged exports must be
+    // byte-identical across execution modes too.
+    config.observability.enabled = true;
+    config.observability.hub.cadence = Milliseconds(10);
     return config;
 }
 
@@ -123,6 +130,8 @@ SubShardTrace RunSlicedScenario(bool parallel) {
             bed.pod_slice(0, r).pool().counters().dispatched);
     }
     trace.end_time = bed.Now();
+    trace.metrics_json = bed.observability()->MetricsJson(false);
+    trace.trace_json = bed.observability()->TraceJson();
     return trace;
 }
 
@@ -149,6 +158,12 @@ TEST(RingSubShards, ParallelRunIsBitIdenticalToLockstep) {
     EXPECT_EQ(lockstep.slice_dispatched, threaded.slice_dispatched);
     EXPECT_EQ(lockstep.events_fired, threaded.events_fired);
     EXPECT_EQ(lockstep.end_time, threaded.end_time);
+
+    // Observability exports, byte-for-byte across execution modes.
+    EXPECT_FALSE(lockstep.metrics_json.empty());
+    EXPECT_NE(lockstep.trace_json.find("\"query\""), std::string::npos);
+    EXPECT_EQ(lockstep.metrics_json, threaded.metrics_json);
+    EXPECT_EQ(lockstep.trace_json, threaded.trace_json);
 }
 
 // Slice identity: every ring slice is a 1 x cols strip pinned to its

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Schema check for the observability plane's exported artifacts.
+
+Usage: check_obs_schema.py <obs_trace.json> <obs_metrics.json>
+
+Validates, without any third-party dependency, that:
+  * the trace file is a Chrome trace-event document: a top-level
+    "traceEvents" array whose entries carry name/ph/ts/pid/tid, with
+    complete events ("X") also carrying a duration and instants ("i")
+    a scope;
+  * the metrics file is a merged-registry export with the three metric
+    families ("counters", "gauges", "histograms"), numeric counter and
+    gauge values, and histograms shaped {total, underflow, buckets[]}.
+
+Exits 0 when both pass; prints the first violation and exits 1 otherwise.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_obs_schema: FAIL: {msg}")
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: no top-level traceEvents object")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents empty or not an array")
+    phases = set()
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                fail(f"{path}: event {i} missing '{key}': {ev}")
+        if not isinstance(ev["ts"], (int, float)):
+            fail(f"{path}: event {i} non-numeric ts")
+        if ev["ph"] == "X" and "dur" not in ev:
+            fail(f"{path}: complete event {i} missing dur")
+        if ev["ph"] == "i" and "s" not in ev:
+            fail(f"{path}: instant event {i} missing scope")
+        phases.add(ev["ph"])
+    if "X" not in phases:
+        fail(f"{path}: no complete ('X') span events")
+    print(f"check_obs_schema: {path}: {len(events)} events, "
+          f"phases {sorted(phases)}")
+
+
+def check_metrics(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    # Either a bare registry export or a {"sim_time_ps", "metrics"}
+    # snapshot wrapper.
+    if "metrics" in doc:
+        doc = doc["metrics"]
+    for family in ("counters", "gauges", "histograms"):
+        if family not in doc or not isinstance(doc[family], dict):
+            fail(f"{path}: missing '{family}' object")
+    for name, value in {**doc["counters"], **doc["gauges"]}.items():
+        if not isinstance(value, (int, float)):
+            fail(f"{path}: {name} not numeric: {value!r}")
+    for name, hist in doc["histograms"].items():
+        for key in ("total", "underflow", "buckets"):
+            if key not in hist:
+                fail(f"{path}: histogram {name} missing '{key}'")
+        if not isinstance(hist["buckets"], list):
+            fail(f"{path}: histogram {name} buckets not an array")
+        if hist["total"] < hist["underflow"] + sum(hist["buckets"]) - 1e-9:
+            fail(f"{path}: histogram {name} total < bucket sum")
+    print(f"check_obs_schema: {path}: {len(doc['counters'])} counters, "
+          f"{len(doc['gauges'])} gauges, "
+          f"{len(doc['histograms'])} histograms")
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        sys.exit(2)
+    check_trace(sys.argv[1])
+    check_metrics(sys.argv[2])
+    print("check_obs_schema: OK")
+
+
+if __name__ == "__main__":
+    main()
